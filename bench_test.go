@@ -1,0 +1,496 @@
+// Benchmarks: one per experiment table in EXPERIMENTS.md. The E-series
+// benchmarks measure the same code paths the hopebench tables report,
+// scaled to testing.B iterations with short latencies so `go test
+// -bench=.` stays fast; run `go run ./cmd/hopebench` for the full tables.
+package hope_test
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"hope"
+	"hope/internal/check"
+	"hope/internal/netsim"
+	"hope/internal/occ"
+	"hope/internal/recovery"
+	"hope/internal/rpc"
+	"hope/internal/semantics"
+	"hope/internal/timewarp"
+	"hope/internal/workload"
+)
+
+const benchLatency = 200 * time.Microsecond
+
+func benchRT(b *testing.B, latency time.Duration) *hope.Runtime {
+	b.Helper()
+	opts := []hope.Option{hope.WithOutput(io.Discard)}
+	if latency > 0 {
+		opts = append(opts, hope.WithLatency(func(from, to string) time.Duration { return latency }))
+	}
+	rt := hope.New(opts...)
+	b.Cleanup(rt.Shutdown)
+	return rt
+}
+
+// BenchmarkE1_CallStreaming regenerates the E1 table's two columns: the
+// Figure-1 synchronous print workload and its Figure-2 streamed
+// transformation (accurate predictions).
+func BenchmarkE1_CallStreaming(b *testing.B) {
+	jobs := workload.PrintJobs(8, 50, 0, 7)
+	for _, mode := range []string{"sync", "streamed"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rt := hope.New(
+					hope.WithOutput(io.Discard),
+					hope.WithLatency(func(from, to string) time.Duration { return benchLatency }),
+				)
+				err := rpc.ServeStateful(rt, "printer", func() rpc.Handler {
+					line := 0
+					return func(req any) any {
+						lines := req.(int)
+						line = (line + lines) % 50
+						return line
+					}
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				client, err := rpc.NewClient(rt, "worker")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := rt.Spawn("worker", func(p *hope.Proc) error {
+					s := client.Session(p)
+					local := 0
+					for _, job := range jobs {
+						if mode == "sync" {
+							got, err := s.Call("printer", job.Lines)
+							if err != nil {
+								return err
+							}
+							local = got.(int)
+						} else {
+							predicted := (local + job.Lines) % 50
+							got, _, err := s.StreamCall("printer", job.Lines, predicted)
+							if err != nil {
+								return err
+							}
+							local = got.(int)
+						}
+					}
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+				rt.Quiesce()
+				rt.Shutdown()
+				rt.Wait()
+			}
+		})
+	}
+}
+
+// BenchmarkE2_Netsim regenerates the §3.1 table's two regimes on the
+// virtual-time simulator (no wall-clock latency: these measure simulator
+// throughput).
+func BenchmarkE2_Netsim(b *testing.B) {
+	b.Run("sync-rpc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := netsim.NewSim(1)
+			d := netsim.NewDuplex(s, 15*time.Millisecond, 100_000_000)
+			netsim.SyncRPC(s, d, 100, 100, 100)
+		}
+	})
+	b.Run("stream", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := netsim.NewSim(1)
+			l := netsim.NewLink(s, 15*time.Millisecond, 100_000_000)
+			netsim.Stream(s, l, 100, 10_000)
+		}
+	})
+}
+
+// BenchmarkE3_Primitives measures the per-call cost of a streamed RPC at
+// both prediction outcomes — the E3 table's two endpoints. Calls run in
+// bounded chunks on fresh runtimes: a misprediction replays the caller's
+// log since its session start, so one unbounded session would make the
+// benchmark quadratic in b.N.
+func BenchmarkE3_Primitives(b *testing.B) {
+	const chunk = 50
+	for _, accurate := range []bool{true, false} {
+		name := map[bool]string{true: "accurate", false: "mispredicted"}[accurate]
+		b.Run(name, func(b *testing.B) {
+			remaining := b.N
+			for remaining > 0 {
+				n := remaining
+				if n > chunk {
+					n = chunk
+				}
+				remaining -= n
+				rt := hope.New(hope.WithOutput(io.Discard))
+				if err := rpc.Serve(rt, "svc", func(req any) any { return req }); err != nil {
+					b.Fatal(err)
+				}
+				client, err := rpc.NewClient(rt, "caller")
+				if err != nil {
+					b.Fatal(err)
+				}
+				done := make(chan error, 1)
+				if err := rt.Spawn("caller", func(p *hope.Proc) error {
+					s := client.Session(p)
+					for i := 0; i < n; i++ {
+						predicted := i
+						if !accurate {
+							predicted = -1
+						}
+						if _, _, err := s.StreamCall("svc", i, predicted); err != nil {
+							return err
+						}
+					}
+					select {
+					case done <- nil:
+					default: // rollback re-execution: already signaled
+					}
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+				if err := <-done; err != nil {
+					b.Fatal(err)
+				}
+				rt.Quiesce()
+				rt.Shutdown()
+				rt.Wait()
+			}
+		})
+	}
+}
+
+// BenchmarkE4_RollbackCascade measures a deny cascading through a chain
+// of dependent intervals (depth 16), the E4 table's core row.
+func BenchmarkE4_RollbackCascade(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rt := hope.New(hope.WithOutput(io.Discard))
+		aidCh := make(chan hope.AID, 1)
+		if err := rt.Spawn("head", func(p *hope.Proc) error {
+			var first hope.AID
+			for k := 0; k < 16; k++ {
+				x := p.NewAID()
+				if k == 0 {
+					first = x
+				}
+				p.Guess(x)
+			}
+			select {
+			case aidCh <- first:
+			default:
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		rt.Quiesce()
+		if err := rt.Spawn("denier", func(p *hope.Proc) error {
+			return p.Deny(<-aidCh)
+		}); err != nil {
+			b.Fatal(err)
+		}
+		rt.Quiesce()
+		rt.Shutdown()
+		rt.Wait()
+	}
+}
+
+// BenchmarkE5_TrackerOps measures the raw HOPE primitives, the E5 table's
+// first row.
+func BenchmarkE5_TrackerOps(b *testing.B) {
+	b.Run("guess-affirm", func(b *testing.B) {
+		rt := benchRT(b, 0)
+		done := make(chan error, 1)
+		b.ResetTimer()
+		if err := rt.Spawn("p", func(p *hope.Proc) error {
+			for i := 0; i < b.N; i++ {
+				x := p.NewAID()
+				if p.Guess(x) {
+					if err := p.Affirm(x); err != nil {
+						return err
+					}
+				}
+			}
+			select {
+			case done <- nil:
+			default:
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("send-recv", func(b *testing.B) {
+		rt := benchRT(b, 0)
+		done := make(chan error, 1)
+		if err := rt.Spawn("sink", func(p *hope.Proc) error {
+			for {
+				if _, err := p.Recv(); err != nil {
+					if errors.Is(err, hope.ErrShutdown) {
+						return nil
+					}
+					return err
+				}
+			}
+		}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		if err := rt.Spawn("src", func(p *hope.Proc) error {
+			for i := 0; i < b.N; i++ {
+				if err := p.Send("sink", i); err != nil {
+					return err
+				}
+			}
+			select {
+			case done <- nil:
+			default:
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkE6_TimeWarp regenerates the E6 table's parallel-vs-sequential
+// comparison at a small PHOLD size.
+func BenchmarkE6_TimeWarp(b *testing.B) {
+	cfg := timewarp.Config{LPs: 2, Population: 4, Horizon: 60, MaxDelta: 6, Seed: 42}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			timewarp.Sequential(cfg)
+		}
+	})
+	b.Run("hope-parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := timewarp.Parallel(cfg, hope.WithOutput(io.Discard)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE7_Replication regenerates the E7 table's two write paths,
+// in bounded chunks on fresh runtimes (an unbounded optimistic session
+// accumulates interval-chain algebra at the primary).
+func BenchmarkE7_Replication(b *testing.B) {
+	const chunk = 50
+	for _, mode := range []string{"sync", "optimistic"} {
+		b.Run(mode, func(b *testing.B) {
+			remaining := b.N
+			for remaining > 0 {
+				n := remaining
+				if n > chunk {
+					n = chunk
+				}
+				remaining -= n
+				rt := hope.New(
+					hope.WithOutput(io.Discard),
+					hope.WithLatency(func(from, to string) time.Duration { return benchLatency }),
+				)
+				if err := occ.ServePrimary(rt, "primary", map[string]any{"k": 0}); err != nil {
+					b.Fatal(err)
+				}
+				done := make(chan error, 1)
+				if err := rt.Spawn("client", func(p *hope.Proc) error {
+					s := occ.NewSession(p, "primary")
+					for i := 0; i < n; i++ {
+						if mode == "sync" {
+							if err := s.WriteSync("k", i); err != nil {
+								return err
+							}
+						} else {
+							if _, err := s.WriteOptimistic("k", i); err != nil {
+								return err
+							}
+						}
+					}
+					select {
+					case done <- nil:
+					default:
+					}
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+				if err := <-done; err != nil {
+					b.Fatal(err)
+				}
+				rt.Quiesce()
+				rt.Shutdown()
+				rt.Wait()
+			}
+		})
+	}
+}
+
+// BenchmarkE8_Recovery regenerates the E8a comparison: one full ring run
+// per iteration, optimistic vs synchronous checkpointing.
+func BenchmarkE8_Recovery(b *testing.B) {
+	lat := func(from, to string) time.Duration {
+		if to == "stable" {
+			return benchLatency
+		}
+		return 0
+	}
+	for _, mode := range []string{"sync", "optimistic"} {
+		b.Run(mode, func(b *testing.B) {
+			cfg := recovery.Config{Workers: 2, Rounds: 6, CheckpointEvery: 1, Sync: mode == "sync"}
+			for i := 0; i < b.N; i++ {
+				if _, err := recovery.Run(cfg, hope.WithOutput(io.Discard), hope.WithLatency(lat)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSemanticsFigure2 measures the abstract machine interpreting
+// the paper's Figure 2 program (the T-series substrate).
+func BenchmarkSemanticsFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := semantics.New(semantics.Figure2Program(60))
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Run(semantics.NewRandom(int64(i)), 10_000)
+	}
+}
+
+// BenchmarkCheckExhaustive measures the model checker exploring a small
+// program's full interleaving space (the T-series harness).
+func BenchmarkCheckExhaustive(b *testing.B) {
+	prog := semantics.ChainProgram(3, false)
+	for i := 0; i < b.N; i++ {
+		res := check.Exhaustive(prog, check.Options{MaxRuns: 2_000})
+		if !res.Ok() {
+			b.Fatal("violations found")
+		}
+	}
+}
+
+// BenchmarkE9_LoopCompaction regenerates the E9 ablation: a definite
+// message stream through a plain body vs a compacting Loop.
+func BenchmarkE9_LoopCompaction(b *testing.B) {
+	for _, mode := range []string{"spawn", "loop"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rt := benchRT(b, 0)
+				recv := func(p *hope.Proc, sum *int) error {
+					m, err := p.Recv()
+					if err != nil {
+						return err
+					}
+					v := m.Payload.(int)
+					if v < 0 {
+						return hope.ErrStopLoop
+					}
+					*sum += v
+					return nil
+				}
+				var err error
+				if mode == "loop" {
+					err = hope.Loop(rt, "acc",
+						func() *int { s := 0; return &s },
+						func(s *int) *int { c := *s; return &c },
+						func(p *hope.Proc, s *int) error { return recv(p, s) })
+				} else {
+					err = rt.Spawn("acc", func(p *hope.Proc) error {
+						s := 0
+						for {
+							if e := recv(p, &s); e != nil {
+								if errors.Is(e, hope.ErrStopLoop) {
+									return nil
+								}
+								return e
+							}
+						}
+					})
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := rt.Spawn("src", func(p *hope.Proc) error {
+					for j := 0; j < 200; j++ {
+						if err := p.Send("acc", j); err != nil {
+							return err
+						}
+					}
+					return p.Send("acc", -1)
+				}); err != nil {
+					b.Fatal(err)
+				}
+				rt.Quiesce()
+				rt.Shutdown()
+				rt.Wait()
+			}
+		})
+	}
+}
+
+// BenchmarkE10_VerifierPool regenerates the E10 ablation endpoints, in
+// bounded chunks on fresh runtimes.
+func BenchmarkE10_VerifierPool(b *testing.B) {
+	const chunk = 50
+	for _, pool := range []int{1, 8} {
+		b.Run(fmt.Sprintf("pool-%d", pool), func(b *testing.B) {
+			remaining := b.N
+			for remaining > 0 {
+				n := remaining
+				if n > chunk {
+					n = chunk
+				}
+				remaining -= n
+				rt := hope.New(
+					hope.WithOutput(io.Discard),
+					hope.WithLatency(func(from, to string) time.Duration { return benchLatency }),
+				)
+				if err := rpc.Serve(rt, "svc", func(req any) any { return req }); err != nil {
+					b.Fatal(err)
+				}
+				client, err := rpc.NewClient(rt, "caller", rpc.WithVerifiers(pool))
+				if err != nil {
+					b.Fatal(err)
+				}
+				done := make(chan error, 1)
+				if err := rt.Spawn("caller", func(p *hope.Proc) error {
+					s := client.Session(p)
+					for i := 0; i < n; i++ {
+						if _, _, err := s.StreamCall("svc", i, i); err != nil {
+							return err
+						}
+					}
+					select {
+					case done <- nil:
+					default:
+					}
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+				if err := <-done; err != nil {
+					b.Fatal(err)
+				}
+				rt.Quiesce()
+				rt.Shutdown()
+				rt.Wait()
+			}
+		})
+	}
+}

@@ -1,0 +1,58 @@
+// Command hopebench regenerates the experiment tables recorded in
+// EXPERIMENTS.md: the paper's quantitative claims (E1–E3) and the
+// characterization of every substrate the library ships (E4–E8).
+//
+//	hopebench              # run everything
+//	hopebench -exp E1,E3   # run a subset
+//	hopebench -list        # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hope/internal/experiments"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated experiment IDs (E1..E8) or 'all'")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	all := experiments.All()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-3s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *expFlag != "all" {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	ran := 0
+	for _, e := range all {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		fmt.Printf("== %s: %s ==\n\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "hopebench: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "hopebench: no experiments matched; use -list")
+		os.Exit(1)
+	}
+}

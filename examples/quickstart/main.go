@@ -1,0 +1,93 @@
+// Command quickstart is the smallest complete HOPE program: one worker
+// makes an optimistic assumption and races ahead; a verifier confirms or
+// refutes it; output is released only for the surviving path.
+//
+// Run with:
+//
+//	go run ./examples/quickstart            # assumption affirmed
+//	go run ./examples/quickstart -deny      # assumption denied → rollback
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hope"
+)
+
+func main() {
+	deny := flag.Bool("deny", false, "deny the assumption instead of affirming it")
+	flag.Parse()
+	if err := run(*deny); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run(deny bool) error {
+	rt := hope.New()
+	defer rt.Shutdown()
+
+	// The worker guesses that its expensive validation will pass and
+	// proceeds immediately with the result.
+	if err := rt.Spawn("worker", func(p *hope.Proc) error {
+		valid := p.NewAID()
+		if err := p.Send("validator", valid); err != nil {
+			return err
+		}
+		answer := 0
+		if p.Guess(valid) {
+			// Optimistic: use the fast estimate. Everything from here on
+			// is speculative until `valid` is affirmed — including the
+			// message to the reporter below.
+			answer = 42
+		} else {
+			// Pessimistic: the validator said no; recompute carefully.
+			answer = 41
+		}
+		if err := p.Send("reporter", answer); err != nil {
+			return err
+		}
+		p.Printf("worker: finished with answer %d\n", answer)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// The validator decides the assumption's fate — from a different
+	// process, some time later, as the paper allows.
+	if err := rt.Spawn("validator", func(p *hope.Proc) error {
+		m, err := p.Recv()
+		if err != nil {
+			return err
+		}
+		valid := m.Payload.(hope.AID)
+		if deny {
+			return p.Deny(valid)
+		}
+		return p.Affirm(valid)
+	}); err != nil {
+		return err
+	}
+
+	// The reporter demonstrates the implicit guess: consuming the tagged
+	// answer makes it a causal dependent, so a denial rolls it back too.
+	if err := rt.Spawn("reporter", func(p *hope.Proc) error {
+		m, err := p.Recv()
+		if err != nil {
+			return err
+		}
+		p.Printf("reporter: committed answer %d\n", m.Payload.(int))
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	for _, err := range rt.Wait() {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

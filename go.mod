@@ -1,0 +1,3 @@
+module hope
+
+go 1.22

@@ -1,0 +1,121 @@
+// Package hope is a Go implementation of HOPE — the Hopefully Optimistic
+// Programming Environment of Cowan & Lutfiyya, "Formal Semantics for
+// Expressing Optimism: The Meaning of HOPE" (PODC 1995).
+//
+// HOPE lets a concurrent program trade latency for speculation with four
+// primitives over assumption identifiers (AIDs):
+//
+//	x := p.NewAID()      // create an assumption identifier
+//	if p.Guess(x) {      // optimistically assume x is true
+//	    // fast path, speculative until x is resolved
+//	} else {
+//	    // pessimistic path, runs if x is denied
+//	}
+//	p.Affirm(x)          // confirm the assumption (any process may)
+//	p.Deny(x)            // refute it: dependents roll back to their Guess
+//	p.FreeOf(x)          // assert this computation never depends on x
+//
+// Dependency tracking is automatic: messages carry the sender's assumption
+// set, receivers implicitly guess those assumptions, and a Deny rolls back
+// every transitive dependent across processes — exactly the semantics the
+// paper proves correct (its Lemma 5.1 through Theorem 6.3 are
+// machine-verified against internal/semantics by internal/check).
+//
+// # Writing processes
+//
+// A process body is a function of a *Proc handle. All nondeterminism must
+// flow through the handle (Guess, Recv, NewAID, Rand), all messaging
+// through Send/Recv, and all externally visible actions through
+// Effect/Printf — because rollback re-executes the body, replaying the
+// surviving prefix from a log. Keep mutable state local to the body.
+//
+// # Example
+//
+//	rt := hope.New()
+//	rt.Spawn("worker", func(p *hope.Proc) error {
+//	    x := p.NewAID()
+//	    if err := p.Send("verifier", x); err != nil {
+//	        return err
+//	    }
+//	    if p.Guess(x) {
+//	        p.Printf("optimistic result\n") // printed only if x affirmed
+//	        return nil
+//	    }
+//	    p.Printf("pessimistic result\n")
+//	    return nil
+//	})
+//	rt.Spawn("verifier", func(p *hope.Proc) error {
+//	    m, _ := p.Recv()
+//	    return p.Affirm(m.Payload.(hope.AID))
+//	})
+//	rt.Wait()
+package hope
+
+import (
+	"io"
+	"time"
+
+	"hope/internal/engine"
+	"hope/internal/tracker"
+)
+
+// Runtime hosts one distributed HOPE program.
+type Runtime = engine.Runtime
+
+// Proc is the handle a process body uses for all HOPE interactions.
+type Proc = engine.Proc
+
+// AID identifies one optimistic assumption.
+type AID = engine.AID
+
+// Msg is a received message.
+type Msg = engine.Msg
+
+// Option configures a Runtime.
+type Option = engine.Option
+
+// Stats holds dependency-tracker activity counters.
+type Stats = tracker.Stats
+
+// Exported errors.
+var (
+	// ErrShutdown is returned by Recv after Shutdown.
+	ErrShutdown = engine.ErrShutdown
+	// ErrConflict reports conflicting affirm/deny on one assumption
+	// (the paper's §5.2 user error).
+	ErrConflict = engine.ErrConflict
+	// ErrNondeterministic reports a process body that diverged under
+	// replay, violating the piecewise-determinism contract.
+	ErrNondeterministic = engine.ErrNondeterministic
+	// ErrDuplicateProc reports a duplicate Spawn name.
+	ErrDuplicateProc = engine.ErrDuplicateProc
+	// ErrUnknownDest reports a Send to an unknown process.
+	ErrUnknownDest = engine.ErrUnknownDest
+)
+
+// New creates a runtime.
+func New(opts ...Option) *Runtime { return engine.New(opts...) }
+
+// ErrStopLoop stops a Loop process cleanly when returned by its step
+// function.
+var ErrStopLoop = engine.ErrStopLoop
+
+// Loop spawns a long-running process with bounded replay-log memory: the
+// body is structured as repeated steps over explicit state, and whenever
+// the process is definite at a step boundary the engine snapshots the
+// state and discards the settled log prefix, so rollback replays only the
+// speculation window since the last snapshot. init builds the initial
+// state, clone must deep-copy it, and step follows the usual
+// piecewise-determinism contract. See engine.Loop.
+func Loop[S any](rt *Runtime, name string, init func() S, clone func(S) S, step func(*Proc, S) error) error {
+	return engine.Loop(rt, name, init, clone, step)
+}
+
+// WithOutput directs committed Printf output to w.
+func WithOutput(w io.Writer) Option { return engine.WithOutput(w) }
+
+// WithLatency installs a message latency model: f returns the one-way
+// delay for a message between two named processes.
+func WithLatency(f func(from, to string) time.Duration) Option {
+	return engine.WithLatency(f)
+}

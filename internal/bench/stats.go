@@ -1,0 +1,196 @@
+// Package bench provides the measurement harness shared by the benchmark
+// suite (bench_test.go) and the hopebench CLI: latency/duration
+// statistics, experiment result tables in the EXPERIMENTS.md format, and
+// small helpers for repeated timed runs.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sample accumulates duration observations.
+type Sample struct {
+	xs []time.Duration
+}
+
+// Add records one observation.
+func (s *Sample) Add(d time.Duration) { s.xs = append(s.xs, d) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean (0 if empty).
+func (s *Sample) Mean() time.Duration {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / time.Duration(len(s.xs))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) by
+// nearest-rank on the sorted sample.
+func (s *Sample) Percentile(p float64) time.Duration {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(s.xs))
+	copy(sorted, s.xs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Min returns the smallest observation.
+func (s *Sample) Min() time.Duration {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	min := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x < min {
+			min = x
+		}
+	}
+	return min
+}
+
+// Max returns the largest observation.
+func (s *Sample) Max() time.Duration {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	max := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Sample) Stddev() time.Duration {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	mean := float64(s.Mean())
+	var ss float64
+	for _, x := range s.xs {
+		d := float64(x) - mean
+		ss += d * d
+	}
+	return time.Duration(math.Sqrt(ss / float64(n-1)))
+}
+
+// Table renders aligned experiment rows: the output format every
+// experiment shares, matching the tables recorded in EXPERIMENTS.md.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case time.Duration:
+			row[i] = v.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "### %s\n\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+	}
+	line(t.Headers)
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Timed runs fn n times, returning the sample of wall-clock durations.
+func Timed(n int, fn func()) *Sample {
+	s := &Sample{}
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		fn()
+		s.Add(time.Since(start))
+	}
+	return s
+}
+
+// Speedup formats a baseline/variant ratio.
+func Speedup(baseline, variant time.Duration) string {
+	if variant <= 0 {
+		return "∞"
+	}
+	return fmt.Sprintf("%.2fx", float64(baseline)/float64(variant))
+}

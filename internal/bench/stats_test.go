@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSampleStats(t *testing.T) {
+	s := &Sample{}
+	for _, ms := range []int{5, 1, 3, 2, 4} {
+		s.Add(time.Duration(ms) * time.Millisecond)
+	}
+	if s.N() != 5 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if got := s.Mean(); got != 3*time.Millisecond {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := s.Min(); got != time.Millisecond {
+		t.Errorf("Min = %v", got)
+	}
+	if got := s.Max(); got != 5*time.Millisecond {
+		t.Errorf("Max = %v", got)
+	}
+	if got := s.Percentile(50); got != 3*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := s.Percentile(100); got != 5*time.Millisecond {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := s.Percentile(0); got != time.Millisecond {
+		t.Errorf("p0 = %v", got)
+	}
+	if s.Stddev() == 0 {
+		t.Error("Stddev should be non-zero")
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	s := &Sample{}
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(50) != 0 || s.Stddev() != 0 {
+		t.Fatal("empty sample stats should all be zero")
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	s := &Sample{}
+	s.Add(7 * time.Millisecond)
+	if s.Mean() != 7*time.Millisecond || s.Percentile(99) != 7*time.Millisecond {
+		t.Fatal("single-observation stats wrong")
+	}
+	if s.Stddev() != 0 {
+		t.Fatal("stddev of one observation should be 0")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("E1: demo", "param", "value", "speedup")
+	tb.AddRow(1, 2.5, "3.1x")
+	tb.AddRow("long-param-name", 10*time.Millisecond, 1.0)
+	out := tb.String()
+	if !strings.Contains(out, "### E1: demo") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "| param") || !strings.Contains(out, "long-param-name") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	if !strings.Contains(out, "2.50") {
+		t.Errorf("float formatting missing:\n%s", out)
+	}
+	if !strings.Contains(out, "10ms") {
+		t.Errorf("duration formatting missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title, blank, header, separator, two rows.
+	if len(lines) != 6 {
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTimedAndSpeedup(t *testing.T) {
+	s := Timed(3, func() { time.Sleep(time.Millisecond) })
+	if s.N() != 3 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Min() < time.Millisecond {
+		t.Errorf("Min = %v, want ≥ 1ms", s.Min())
+	}
+	if got := Speedup(10*time.Millisecond, 5*time.Millisecond); got != "2.00x" {
+		t.Errorf("Speedup = %q", got)
+	}
+	if got := Speedup(time.Second, 0); got != "∞" {
+		t.Errorf("Speedup zero variant = %q", got)
+	}
+}

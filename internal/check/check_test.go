@@ -1,0 +1,281 @@
+package check
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hope/internal/semantics"
+)
+
+// exhaust runs an exhaustive exploration and fails the test on any
+// violation.
+func exhaust(t *testing.T, prog *semantics.Program, opts Options) *Result {
+	t.Helper()
+	res := Exhaustive(prog, opts)
+	for _, v := range res.Violations {
+		t.Errorf("violation: %v", v)
+	}
+	if res.Runs == 0 {
+		t.Fatal("exploration performed zero complete runs")
+	}
+	return res
+}
+
+func b(f func(*semantics.Builder)) []semantics.Op {
+	builder := semantics.NewBuilder()
+	f(builder)
+	return builder.Ops()
+}
+
+func TestExhaustiveBasicAffirm(t *testing.T) {
+	prog := &semantics.Program{Procs: [][]semantics.Op{
+		b(func(bb *semantics.Builder) {
+			bb.Guess("X",
+				func(bb *semantics.Builder) { bb.Set("a", 1) },
+				func(bb *semantics.Builder) { bb.Set("a", 2) })
+		}),
+		b(func(bb *semantics.Builder) { bb.Affirm("X") }),
+	}}
+	res := exhaust(t, prog, Options{})
+	if res.Truncated {
+		t.Error("tiny program should explore exhaustively")
+	}
+	if res.Deadlocks != 0 {
+		t.Errorf("deadlocks = %d, want 0", res.Deadlocks)
+	}
+	t.Logf("runs=%d maxStates=%d", res.Runs, res.MaxStates)
+}
+
+func TestExhaustiveBasicDeny(t *testing.T) {
+	prog := &semantics.Program{Procs: [][]semantics.Op{
+		b(func(bb *semantics.Builder) {
+			bb.Guess("X",
+				func(bb *semantics.Builder) { bb.Set("a", 1) },
+				func(bb *semantics.Builder) { bb.Set("a", 2) })
+		}),
+		b(func(bb *semantics.Builder) { bb.Deny("X") }),
+	}}
+	res := exhaust(t, prog, Options{})
+	if res.Truncated {
+		t.Error("tiny program should explore exhaustively")
+	}
+}
+
+func TestExhaustiveSpeculativeAffirmChain(t *testing.T) {
+	// The Lemma 6.1 / Corollary 6.1 shape: X affirmed under Y, Y denied
+	// or affirmed by a third process, across every interleaving.
+	for _, resolve := range []string{"affirm", "deny"} {
+		t.Run(resolve, func(t *testing.T) {
+			third := semantics.NewBuilder()
+			if resolve == "affirm" {
+				third.Affirm("Y")
+			} else {
+				third.Deny("Y")
+			}
+			prog := &semantics.Program{Procs: [][]semantics.Op{
+				b(func(bb *semantics.Builder) {
+					bb.Guess("X",
+						func(bb *semantics.Builder) { bb.Set("a", 1) },
+						func(bb *semantics.Builder) { bb.Set("a", 2) })
+				}),
+				b(func(bb *semantics.Builder) {
+					bb.Guess("Y",
+						func(bb *semantics.Builder) { bb.Affirm("X") },
+						func(bb *semantics.Builder) { bb.Deny("X") })
+				}),
+				third.Ops(),
+			}}
+			exhaust(t, prog, Options{MaxRuns: 50_000})
+		})
+	}
+}
+
+func TestExhaustiveSpeculativeDeny(t *testing.T) {
+	for _, resolve := range []string{"affirm", "deny"} {
+		t.Run(resolve, func(t *testing.T) {
+			third := semantics.NewBuilder()
+			if resolve == "affirm" {
+				third.Affirm("Y")
+			} else {
+				third.Deny("Y")
+			}
+			prog := &semantics.Program{Procs: [][]semantics.Op{
+				b(func(bb *semantics.Builder) {
+					bb.Guess("X",
+						func(bb *semantics.Builder) { bb.Set("a", 1) },
+						func(bb *semantics.Builder) { bb.Set("a", 2) })
+				}),
+				b(func(bb *semantics.Builder) {
+					bb.Guess("Y",
+						func(bb *semantics.Builder) { bb.Deny("X") },
+						func(bb *semantics.Builder) { bb.Affirm("X") })
+				}),
+				third.Ops(),
+			}}
+			exhaust(t, prog, Options{MaxRuns: 50_000})
+		})
+	}
+}
+
+func TestExhaustiveFreeOfViolation(t *testing.T) {
+	prog := &semantics.Program{Procs: [][]semantics.Op{
+		b(func(bb *semantics.Builder) {
+			bb.Guess("X",
+				func(bb *semantics.Builder) { bb.FreeOf("X").Set("after", 1) },
+				func(bb *semantics.Builder) { bb.Set("a", 2) })
+		}),
+	}}
+	res := exhaust(t, prog, Options{})
+	if res.Truncated {
+		t.Error("should be exhaustive")
+	}
+}
+
+func TestExhaustiveMessageCascade(t *testing.T) {
+	prog := semantics.ChainProgram(3, false)
+	exhaust(t, prog, Options{MaxRuns: 100_000})
+}
+
+func TestExhaustiveFigure2SampledPrefixes(t *testing.T) {
+	// Figure 2's full schedule space is too large to exhaust; DFS with a
+	// run budget still verifies invariants on every explored prefix.
+	for _, total := range []int{30, 60} {
+		res := Exhaustive(semantics.Figure2Program(total), Options{MaxRuns: 5_000})
+		for _, v := range res.Violations {
+			t.Errorf("total=%d violation: %v", total, v)
+		}
+		t.Logf("total=%d runs=%d truncated=%v", total, res.Runs, res.Truncated)
+	}
+}
+
+func TestRandomWalksFigure2(t *testing.T) {
+	for _, total := range []int{30, 60} {
+		res := RandomWalks(semantics.Figure2Program(total), 300, 12345, Options{})
+		for _, v := range res.Violations {
+			t.Errorf("total=%d violation: %v", total, v)
+		}
+		if res.Runs != 300 {
+			t.Errorf("total=%d runs=%d, want 300", total, res.Runs)
+		}
+		if res.Deadlocks != 0 {
+			t.Errorf("total=%d deadlocks=%d, want 0", total, res.Deadlocks)
+		}
+	}
+}
+
+func TestRandomWalksChains(t *testing.T) {
+	for n := 3; n <= 6; n++ {
+		for _, affirm := range []bool{true, false} {
+			res := RandomWalks(semantics.ChainProgram(n, affirm), 100, int64(n), Options{})
+			for _, v := range res.Violations {
+				t.Errorf("chain n=%d affirm=%v: %v", n, affirm, v)
+			}
+			if res.Deadlocks != 0 {
+				t.Errorf("chain n=%d affirm=%v deadlocks=%d", n, affirm, res.Deadlocks)
+			}
+		}
+	}
+}
+
+func TestGeneratedProgramsExhaustive(t *testing.T) {
+	// Small generated programs explored exhaustively: the strongest
+	// verification pass. 40 distinct programs, every interleaving.
+	for seed := int64(0); seed < 40; seed++ {
+		prog := Generate(GenConfig{Procs: 2, AIDs: 2, MaxDepth: 2, Seed: seed})
+		res := Exhaustive(prog, Options{MaxRuns: 30_000})
+		for _, v := range res.Violations {
+			t.Errorf("seed %d: %v", seed, v)
+		}
+		if res.Runs == 0 {
+			t.Errorf("seed %d: zero runs", seed)
+		}
+	}
+}
+
+func TestGeneratedProgramsWithMessagesExhaustive(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		prog := Generate(GenConfig{Procs: 3, AIDs: 2, MaxDepth: 1, WithMessages: true, Seed: seed})
+		res := Exhaustive(prog, Options{MaxRuns: 20_000})
+		for _, v := range res.Violations {
+			t.Errorf("seed %d: %v", seed, v)
+		}
+		// The generator keeps send counts path-invariant, so the sink
+		// always drains: no interleaving may deadlock.
+		if res.Deadlocks != 0 {
+			t.Errorf("seed %d: %d deadlocked interleavings", seed, res.Deadlocks)
+		}
+	}
+}
+
+func TestGeneratedProgramsRandomWalks(t *testing.T) {
+	// Larger generated programs under many random schedules.
+	for seed := int64(0); seed < 20; seed++ {
+		prog := Generate(GenConfig{Procs: 4, AIDs: 5, MaxDepth: 3, WithMessages: true, Seed: seed})
+		res := RandomWalks(prog, 60, seed*7+1, Options{})
+		for _, v := range res.Violations {
+			t.Errorf("seed %d: %v", seed, v)
+		}
+	}
+}
+
+// Property: no seed produces a program that violates the semantics.
+func TestQuickGeneratedPrograms(t *testing.T) {
+	f := func(seed int64, procs, aids uint8) bool {
+		cfg := GenConfig{
+			Procs:        1 + int(procs%4),
+			AIDs:         1 + int(aids%5),
+			MaxDepth:     2,
+			WithMessages: seed%2 == 0,
+			Seed:         seed,
+		}
+		prog := Generate(cfg)
+		res := RandomWalks(prog, 10, seed+99, Options{StopAtFirst: true})
+		if !res.Ok() {
+			t.Logf("seed=%d cfg=%+v violation: %v", seed, cfg, res.Violations[0])
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: generation is deterministic per seed.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		cfg := GenConfig{Procs: 3, AIDs: 3, MaxDepth: 2, WithMessages: true, Seed: seed}
+		a, bb := Generate(cfg), Generate(cfg)
+		if len(a.Procs) != len(bb.Procs) {
+			t.Fatalf("seed %d: proc counts differ", seed)
+		}
+		for i := range a.Procs {
+			if len(a.Procs[i]) != len(bb.Procs[i]) {
+				t.Fatalf("seed %d proc %d: op counts differ", seed, i)
+			}
+			for j := range a.Procs[i] {
+				if a.Procs[i][j].String() != bb.Procs[i][j].String() {
+					t.Fatalf("seed %d proc %d op %d: %v != %v", seed, i, j, a.Procs[i][j], bb.Procs[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratedProgramsValidate(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		prog := Generate(GenConfig{Procs: 3, AIDs: 4, MaxDepth: 3, WithMessages: seed%2 == 0, Seed: seed})
+		if err := prog.Validate(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestExhaustiveOrderRace(t *testing.T) {
+	// The minimal free_of ordering scenario, fully explored.
+	res := exhaust(t, semantics.OrderRaceProgram(), Options{MaxRuns: 200_000})
+	if res.Deadlocks != 0 {
+		t.Errorf("deadlocks = %d, want 0", res.Deadlocks)
+	}
+	t.Logf("runs=%d truncated=%v", res.Runs, res.Truncated)
+}

@@ -1,0 +1,179 @@
+package check
+
+import (
+	"fmt"
+
+	"hope/internal/semantics"
+)
+
+// Violation records a failed check together with the schedule that
+// produced it, so it can be replayed deterministically.
+type Violation struct {
+	Err      error
+	Schedule []int
+}
+
+// String renders the violation with its reproducing schedule.
+func (v Violation) String() string {
+	return fmt.Sprintf("%v (schedule %v)", v.Err, v.Schedule)
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	// Runs is the number of complete executions checked.
+	Runs int
+	// Truncated reports that the run budget was exhausted before the
+	// schedule space was covered (exhaustive mode only).
+	Truncated bool
+	// Deadlocks counts executions ending with a blocked, non-halted
+	// process. Deadlock is a property of the program, not a semantics
+	// violation; the count is reported so tests can assert on it.
+	Deadlocks int
+	// MaxStates is the largest number of steps any execution took.
+	MaxStates int
+	// Violations holds every invariant or theorem failure found.
+	Violations []Violation
+}
+
+// Ok reports whether no violations were found.
+func (r *Result) Ok() bool { return len(r.Violations) == 0 }
+
+// Options configures an exploration.
+type Options struct {
+	// MaxRuns bounds the number of executions (default 10 000).
+	MaxRuns int
+	// MaxSteps bounds the length of one execution (default 2 000).
+	MaxSteps int
+	// StopAtFirst stops at the first violation (default: collect up to
+	// 8 violations).
+	StopAtFirst bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRuns == 0 {
+		o.MaxRuns = 10_000
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 2_000
+	}
+	return o
+}
+
+// replay builds a fresh machine and drives it through the given schedule,
+// checking step invariants only on the final step (the prefix was checked
+// by the caller's earlier replays). It returns the machine, or a violation.
+func replay(prog *semantics.Program, schedule []int) (*semantics.Machine, error) {
+	m, err := semantics.New(prog)
+	if err != nil {
+		return nil, err
+	}
+	for i, pi := range schedule {
+		if !m.Step(pi) {
+			return nil, fmt.Errorf("replay: step %d chose non-runnable process %d", i, pi)
+		}
+	}
+	return m, nil
+}
+
+// Exhaustive explores every interleaving of prog with depth-first search
+// over schedule prefixes, verifying the step invariants after every
+// transition and the terminal theorems in every quiescent state. The
+// search re-executes from scratch per prefix (machines are not cloneable),
+// which is quadratic in schedule length but exact.
+func Exhaustive(prog *semantics.Program, opts Options) *Result {
+	opts = opts.withDefaults()
+	res := &Result{}
+
+	var dfs func(schedule []int)
+	dfs = func(schedule []int) {
+		if res.Runs >= opts.MaxRuns || (opts.StopAtFirst && len(res.Violations) > 0) || len(res.Violations) >= 8 {
+			res.Truncated = true
+			return
+		}
+		m, err := replay(prog, schedule)
+		if err != nil {
+			res.Violations = append(res.Violations, Violation{Err: err, Schedule: clone(schedule)})
+			return
+		}
+		if err := StepInvariants(m); err != nil {
+			res.Violations = append(res.Violations, Violation{Err: err, Schedule: clone(schedule)})
+			return
+		}
+		runnable := m.Runnable()
+		if len(runnable) == 0 || len(schedule) >= opts.MaxSteps {
+			res.Runs++
+			if len(schedule) > res.MaxStates {
+				res.MaxStates = len(schedule)
+			}
+			if m.Deadlocked() {
+				res.Deadlocks++
+			}
+			if err := TerminalTheorems(m); err != nil {
+				res.Violations = append(res.Violations, Violation{Err: err, Schedule: clone(schedule)})
+			}
+			return
+		}
+		for _, pi := range runnable {
+			dfs(append(schedule, pi))
+		}
+	}
+	dfs(nil)
+	return res
+}
+
+// RandomWalks explores numRuns random interleavings of prog (seeded
+// deterministically from baseSeed), with full per-step invariant checking
+// and terminal theorem checking.
+func RandomWalks(prog *semantics.Program, numRuns int, baseSeed int64, opts Options) *Result {
+	opts = opts.withDefaults()
+	res := &Result{}
+	for run := 0; run < numRuns; run++ {
+		if opts.StopAtFirst && len(res.Violations) > 0 {
+			break
+		}
+		m, err := semantics.New(prog)
+		if err != nil {
+			res.Violations = append(res.Violations, Violation{Err: err})
+			return res
+		}
+		sched := semantics.NewRandom(baseSeed + int64(run))
+		var schedule []int
+		violated := false
+		for len(schedule) < opts.MaxSteps {
+			runnable := m.Runnable()
+			if len(runnable) == 0 {
+				break
+			}
+			pi := sched.Pick(runnable)
+			m.Step(pi)
+			schedule = append(schedule, pi)
+			if err := StepInvariants(m); err != nil {
+				res.Violations = append(res.Violations, Violation{Err: err, Schedule: clone(schedule)})
+				violated = true
+				break
+			}
+		}
+		if violated {
+			continue
+		}
+		res.Runs++
+		if len(schedule) > res.MaxStates {
+			res.MaxStates = len(schedule)
+		}
+		if m.Deadlocked() {
+			res.Deadlocks++
+		}
+		if len(m.Runnable()) == 0 {
+			if err := TerminalTheorems(m); err != nil {
+				res.Violations = append(res.Violations, Violation{Err: err, Schedule: clone(schedule)})
+			}
+		}
+	}
+	return res
+}
+
+func clone(s []int) []int {
+	out := make([]int, len(s))
+	copy(out, s)
+	return out
+}

@@ -1,0 +1,173 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hope/internal/semantics"
+)
+
+// GenConfig parameterizes random program generation. Generated programs
+// are closed over resolution: every AID has exactly one resolver
+// statement, though a resolver nested under a guess may end up on a path
+// that never executes — the terminal checkers handle open assumptions.
+type GenConfig struct {
+	// Procs is the number of processes (≥ 1).
+	Procs int
+	// AIDs is the number of assumption identifiers (≥ 1).
+	AIDs int
+	// MaxDepth bounds guess nesting per process.
+	MaxDepth int
+	// WithMessages adds a sink process receiving a deterministic number
+	// of messages from the others, exercising tagging, implicit guesses,
+	// orphan filtering and re-delivery.
+	WithMessages bool
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// resolver is one pending resolution statement to be placed.
+type resolver struct {
+	aid  string
+	kind int // 0 = affirm, 1 = deny, 2 = free_of
+}
+
+// Generate builds a random program. The same config always yields the
+// same program.
+func Generate(cfg GenConfig) *semantics.Program {
+	if cfg.Procs < 1 {
+		cfg.Procs = 1
+	}
+	if cfg.AIDs < 1 {
+		cfg.AIDs = 1
+	}
+	if cfg.MaxDepth < 1 {
+		cfg.MaxDepth = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	aidName := func(i int) string { return fmt.Sprintf("X%d", i) }
+
+	// Assign each AID's resolver to a random process.
+	perProc := make([][]resolver, cfg.Procs)
+	for i := 0; i < cfg.AIDs; i++ {
+		kind := 0
+		switch r := rng.Float64(); {
+		case r < 0.35:
+			kind = 1
+		case r < 0.5:
+			kind = 2
+		}
+		p := rng.Intn(cfg.Procs)
+		perProc[p] = append(perProc[p], resolver{aid: aidName(i), kind: kind})
+	}
+
+	numWorkers := cfg.Procs
+	sinkIndex := -1
+	sendsPerWorker := 0
+	if cfg.WithMessages && cfg.Procs >= 2 {
+		numWorkers = cfg.Procs - 1
+		sinkIndex = cfg.Procs - 1
+		sendsPerWorker = 1 + rng.Intn(2)
+		// Move the sink's resolvers to a worker: the sink only receives,
+		// so it always terminates once the workers' sends settle.
+		perProc[0] = append(perProc[0], perProc[sinkIndex]...)
+		perProc[sinkIndex] = nil
+	}
+
+	var procs [][]semantics.Op
+	for pi := 0; pi < numWorkers; pi++ {
+		b := semantics.NewBuilder()
+		emitBody(rng, b, cfg, perProc[pi], cfg.MaxDepth, pi, sinkIndex, sendsPerWorker)
+		procs = append(procs, b.Ops())
+	}
+	if sinkIndex >= 0 {
+		b := semantics.NewBuilder()
+		total := numWorkers * sendsPerWorker
+		for i := 0; i < total; i++ {
+			b.Recv(fmt.Sprintf("m%d", i))
+			b.AddVar("sum", fmt.Sprintf("m%d", i))
+		}
+		procs = append(procs, b.Ops())
+	}
+	return &semantics.Program{Procs: procs}
+}
+
+// emitBody writes a process body: its assigned resolvers interleaved with
+// local computation, optional nested guesses, and (for message programs)
+// exactly sends sends to the sink on every execution path.
+func emitBody(rng *rand.Rand, b *semantics.Builder, cfg GenConfig, rs []resolver, depth, pi, sink, sends int) {
+	// Shuffle resolver order deterministically.
+	rng.Shuffle(len(rs), func(i, j int) { rs[i], rs[j] = rs[j], rs[i] })
+
+	emitResolver := func(b *semantics.Builder, r resolver) {
+		switch r.kind {
+		case 0:
+			b.Affirm(r.aid)
+		case 1:
+			b.Deny(r.aid)
+		default:
+			b.FreeOf(r.aid)
+		}
+	}
+
+	var emit func(b *semantics.Builder, rs []resolver, depth, sends int)
+	emit = func(b *semantics.Builder, rs []resolver, depth, sends int) {
+		for len(rs) > 0 || sends > 0 {
+			switch {
+			case rng.Float64() < 0.25 && depth > 0 && cfg.AIDs > 0:
+				// Nest a guess around a split of the remaining work.
+				aid := fmt.Sprintf("X%d", rng.Intn(cfg.AIDs))
+				cut := 0
+				if len(rs) > 0 {
+					cut = rng.Intn(len(rs) + 1)
+				}
+				inner, outer := rs[:cut], rs[cut:]
+				// Both branches perform the same sends so the sink's
+				// expected message count is schedule-independent; the
+				// inner resolvers run only on the optimistic branch.
+				sendCut := 0
+				if sends > 0 {
+					sendCut = rng.Intn(sends + 1)
+				}
+				b.Guess(aid,
+					func(b *semantics.Builder) {
+						b.Set("opt", 1)
+						emit(b, inner, depth-1, sendCut)
+					},
+					func(b *semantics.Builder) {
+						b.Set("opt", 2)
+						emitSends(b, pi, sink, sendCut)
+						for _, r := range inner {
+							// Pessimistic path still resolves, keeping
+							// the program closed. Same-kind
+							// re-resolution is redundant by §5.2.
+							emitResolver(b, r)
+						}
+					})
+				rs = outer
+				sends -= sendCut
+			case len(rs) > 0 && (sends == 0 || rng.Float64() < 0.6):
+				emitResolver(b, rs[0])
+				rs = rs[1:]
+			case sends > 0:
+				emitSends(b, pi, sink, 1)
+				sends--
+			}
+			if rng.Float64() < 0.3 {
+				b.Add(fmt.Sprintf("v%d", rng.Intn(3)), 1)
+			}
+		}
+	}
+	emit(b, rs, depth, sends)
+}
+
+func emitSends(b *semantics.Builder, pi, sink, n int) {
+	if sink < 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		b.Add("payload", 1)
+		b.Send(sink+1, "payload")
+	}
+}

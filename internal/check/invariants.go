@@ -1,0 +1,223 @@
+// Package check machine-verifies the paper's lemmas and theorems
+// (Sections 5–6) against executions of the abstract machine in
+// internal/semantics.
+//
+// Two kinds of checks are applied. Step invariants hold after every single
+// transition of every execution: the Lemma 5.1 IDO/DOM symmetry, the
+// Theorem 5.1 dependency-subset chain, the Theorem 5.2 status-transition
+// discipline, the Theorem 6.3 free_of disjointness and several structural
+// consistency conditions the proofs rely on implicitly. Terminal checks
+// hold in quiescent states: the Theorem 6.1/6.2 characterization of which
+// intervals finalize, and the Corollary 6.1 transitivity of AID
+// dependence. The explorer in explore.go applies both over exhaustively
+// and randomly enumerated interleavings.
+package check
+
+import (
+	"fmt"
+
+	"hope/internal/ids"
+	"hope/internal/semantics"
+)
+
+// snapshot groups the machine views the checkers need.
+type snapshot struct {
+	aids      map[ids.AID]semantics.AIDInfo
+	intervals map[ids.Interval]semantics.IntervalInfo
+	perProc   map[ids.Proc][]semantics.IntervalInfo // creation order
+	numProcs  int
+	m         *semantics.Machine
+}
+
+func snap(m *semantics.Machine) *snapshot {
+	s := &snapshot{
+		aids:      make(map[ids.AID]semantics.AIDInfo),
+		intervals: make(map[ids.Interval]semantics.IntervalInfo),
+		perProc:   make(map[ids.Proc][]semantics.IntervalInfo),
+		numProcs:  m.NumProcs(),
+		m:         m,
+	}
+	for _, a := range m.AIDs() {
+		s.aids[a.ID] = a
+	}
+	for _, iv := range m.Intervals() { // ordered by ID = creation order
+		s.intervals[iv.ID] = iv
+		s.perProc[iv.Proc] = append(s.perProc[iv.Proc], iv)
+	}
+	return s
+}
+
+func contains[T comparable](xs []T, want T) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+// StepInvariants verifies every per-step invariant and returns the first
+// violation found, or nil.
+func StepInvariants(m *semantics.Machine) error {
+	s := snap(m)
+	checks := []func(*snapshot) error{
+		checkLemma51,
+		checkSubsetChains,
+		checkSpeculativeNonEmptyIDO,
+		checkFreeOfDisjoint,
+		checkISConsistency,
+		checkDOMHygiene,
+	}
+	for _, c := range checks {
+		if err := c(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkLemma51 verifies Lemma 5.1 in both directions:
+// X ∈ A.IDO ⟺ A ∈ X.DOM, over speculative intervals.
+func checkLemma51(s *snapshot) error {
+	for _, iv := range s.intervals {
+		if iv.Status != semantics.Speculative {
+			continue
+		}
+		for _, x := range iv.IDO {
+			a, ok := s.aids[x]
+			if !ok {
+				return fmt.Errorf("lemma 5.1: %v.IDO references unknown AID %v", iv.ID, x)
+			}
+			if !contains(a.DOM, iv.ID) {
+				return fmt.Errorf("lemma 5.1: %v ∈ %v.IDO but %v ∉ %v.DOM", x, iv.ID, iv.ID, x)
+			}
+		}
+	}
+	for _, a := range s.aids {
+		for _, b := range a.DOM {
+			iv, ok := s.intervals[b]
+			if !ok {
+				return fmt.Errorf("lemma 5.1: %v.DOM references unknown interval %v", a.ID, b)
+			}
+			if !contains(iv.IDO, a.ID) {
+				return fmt.Errorf("lemma 5.1: %v ∈ %v.DOM but %v ∉ %v.IDO", b, a.ID, a.ID, b)
+			}
+		}
+	}
+	return nil
+}
+
+// checkSubsetChains verifies the heart of the Theorem 5.1 proof: for
+// intervals A before B of the same process, both live and speculative,
+// A.IDO ⊆ B.IDO. It also verifies the suffix discipline: among a
+// process's non-rolled-back intervals, no speculative interval precedes a
+// finalized one.
+func checkSubsetChains(s *snapshot) error {
+	for proc, list := range s.perProc {
+		var prev *semantics.IntervalInfo
+		seenSpeculative := false
+		for i := range list {
+			iv := list[i]
+			switch iv.Status {
+			case semantics.RolledBack:
+				continue
+			case semantics.Finalized:
+				if seenSpeculative {
+					return fmt.Errorf("theorem 5.1: %s has finalized %v after a speculative interval", proc, iv.ID)
+				}
+			case semantics.Speculative:
+				seenSpeculative = true
+				if prev != nil {
+					for _, x := range prev.IDO {
+						if !contains(iv.IDO, x) {
+							return fmt.Errorf("theorem 5.1: %v.IDO ⊄ %v.IDO (missing %v) in %s",
+								prev.ID, iv.ID, x, proc)
+						}
+					}
+				}
+				prev = &list[i]
+			}
+		}
+	}
+	return nil
+}
+
+// checkSpeculativeNonEmptyIDO verifies Equation 20's contrapositive: the
+// machine finalizes an interval the moment its IDO drains, so a
+// speculative interval always has a non-empty IDO.
+func checkSpeculativeNonEmptyIDO(s *snapshot) error {
+	for _, iv := range s.intervals {
+		if iv.Status == semantics.Speculative && len(iv.IDO) == 0 {
+			return fmt.Errorf("equation 20: speculative %v has empty IDO", iv.ID)
+		}
+	}
+	return nil
+}
+
+// checkFreeOfDisjoint verifies the Theorem 6.3 safety property: an
+// interval that asserted free_of(X) and is still live never has X in its
+// IDO (a violation triggers an immediate deny+rollback, so it can never be
+// observed between steps).
+func checkFreeOfDisjoint(s *snapshot) error {
+	for _, iv := range s.intervals {
+		if iv.Status != semantics.Speculative {
+			continue
+		}
+		for _, x := range iv.FreeOf {
+			if contains(iv.IDO, x) {
+				return fmt.Errorf("theorem 6.3: %v asserted free_of(%v) yet depends on it", iv.ID, x)
+			}
+		}
+	}
+	return nil
+}
+
+// checkISConsistency verifies that each process's IS control variable is
+// exactly its set of speculative intervals, and that the I variable is
+// the latest of them (or ∅ when there are none) — Equations 5, 21, 23.
+func checkISConsistency(s *snapshot) error {
+	for pi := 0; pi < s.numProcs; pi++ {
+		proc := s.m.ProcID(pi)
+		is := s.m.SpecSet(pi)
+		var spec []ids.Interval
+		for _, iv := range s.perProc[proc] {
+			if iv.Status == semantics.Speculative {
+				spec = append(spec, iv.ID)
+			}
+		}
+		if len(is) != len(spec) {
+			return fmt.Errorf("IS of %s = %v, want speculative set %v", proc, is, spec)
+		}
+		for _, id := range spec {
+			if !contains(is, id) {
+				return fmt.Errorf("IS of %s = %v missing speculative %v", proc, is, id)
+			}
+		}
+		cur := s.m.CurrentInterval(pi)
+		if len(spec) == 0 {
+			if cur.Valid() {
+				return fmt.Errorf("equation 23: %s has I=%v with empty IS", proc, cur)
+			}
+		} else if cur != spec[len(spec)-1] {
+			return fmt.Errorf("%s has I=%v, want latest speculative %v", proc, cur, spec[len(spec)-1])
+		}
+	}
+	return nil
+}
+
+// checkDOMHygiene verifies that resolved AIDs have drained DOM sets
+// (Equations 9 and 14 for affirm, rollback withdrawal for deny) and that
+// DOM members are speculative.
+func checkDOMHygiene(s *snapshot) error {
+	for _, a := range s.aids {
+		if a.Status != semantics.Unresolved && len(a.DOM) != 0 {
+			return fmt.Errorf("resolved %v (%v) retains DOM %v", a.ID, a.Status, a.DOM)
+		}
+		for _, b := range a.DOM {
+			if iv := s.intervals[b]; iv.Status != semantics.Speculative {
+				return fmt.Errorf("%v.DOM contains %v interval %v", a.ID, iv.Status, b)
+			}
+		}
+	}
+	return nil
+}

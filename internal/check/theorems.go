@@ -1,0 +1,125 @@
+package check
+
+import (
+	"fmt"
+
+	"hope/internal/ids"
+	"hope/internal/semantics"
+)
+
+// fate is the terminal truth value of an assumption, computed transitively
+// through speculative-affirm substitutions.
+type fate int
+
+const (
+	fateTrue  fate = iota + 1 // definitively affirmed
+	fateFalse                 // definitively denied
+	fateOpen                  // unresolved at termination
+)
+
+func (f fate) String() string {
+	switch f {
+	case fateTrue:
+		return "true"
+	case fateFalse:
+		return "false"
+	case fateOpen:
+		return "open"
+	default:
+		return "invalid"
+	}
+}
+
+// aidFate resolves the terminal fate of AID x. A speculatively affirmed
+// AID whose affirmer never settled inherits the conjunction of its
+// replacement set (Lemma 6.1): false dominates, then open, else true.
+func (s *snapshot) aidFate(x ids.AID, seen map[ids.AID]bool) fate {
+	if seen[x] {
+		return fateTrue // a cycle member constrains nothing further
+	}
+	seen[x] = true
+	a, ok := s.aids[x]
+	if !ok {
+		return fateOpen
+	}
+	switch a.Status {
+	case semantics.Affirmed:
+		return fateTrue
+	case semantics.Denied:
+		return fateFalse
+	case semantics.Unresolved:
+		return fateOpen
+	case semantics.SpecAffirmed:
+		out := fateTrue
+		for _, y := range a.Replacement {
+			switch s.aidFate(y, seen) {
+			case fateFalse:
+				return fateFalse
+			case fateOpen:
+				out = fateOpen
+			}
+		}
+		return out
+	default:
+		return fateOpen
+	}
+}
+
+// setFate folds aidFate over a set: false dominates, then open, else true.
+func (s *snapshot) setFate(xs []ids.AID) fate {
+	out := fateTrue
+	for _, x := range xs {
+		switch s.aidFate(x, map[ids.AID]bool{}) {
+		case fateFalse:
+			return fateFalse
+		case fateOpen:
+			out = fateOpen
+		}
+	}
+	return out
+}
+
+// TerminalTheorems verifies the Section 6 results on a quiescent machine
+// (all processes halted or deadlocked, no more transitions possible):
+//
+//   - Theorems 6.1 and 6.2: an interval finalized if and only if every
+//     assumption it initially depended on resolved true through
+//     eventually-definite affirmers; it rolled back iff some resolved
+//     false; it remains speculative iff some remain open.
+//   - Corollary 6.1: if a speculatively-affirmed AID ended up definitively
+//     affirmed, every AID in its replacement set did too.
+func TerminalTheorems(m *semantics.Machine) error {
+	s := snap(m)
+
+	// Theorems 6.1 / 6.2.
+	for _, iv := range s.intervals {
+		want := s.setFate(iv.InitialIDO)
+		var wantStatus semantics.IntervalStatus
+		switch want {
+		case fateTrue:
+			wantStatus = semantics.Finalized
+		case fateFalse:
+			wantStatus = semantics.RolledBack
+		case fateOpen:
+			wantStatus = semantics.Speculative
+		}
+		if iv.Status != wantStatus {
+			return fmt.Errorf("theorem 6.1/6.2: interval %v (init IDO %v, fate %v) ended %v, want %v",
+				iv.ID, iv.InitialIDO, want, iv.Status, wantStatus)
+		}
+	}
+
+	// Corollary 6.1.
+	for _, a := range s.aids {
+		if a.Status != semantics.Affirmed || len(a.Replacement) == 0 {
+			continue
+		}
+		for _, y := range a.Replacement {
+			if f := s.aidFate(y, map[ids.AID]bool{}); f != fateTrue {
+				return fmt.Errorf("corollary 6.1: %v affirmed but transitive dependency %v has fate %v",
+					a.ID, y, f)
+			}
+		}
+	}
+	return nil
+}

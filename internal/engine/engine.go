@@ -1,0 +1,368 @@
+// Package engine is the concurrent HOPE runtime: the modern equivalent of
+// the paper's PVM prototype (§7). Processes are goroutines; messages are
+// tagged with the sender's assumption set and implicitly guessed on
+// receive; rollback is implemented by piecewise-deterministic replay.
+//
+// # Rollback by replay
+//
+// Go cannot checkpoint a goroutine's stack, so the engine uses the
+// standard piecewise-deterministic (PWD) technique from the optimistic
+// recovery literature the paper builds on [Strom & Yemini 1985]: every
+// nondeterministic event a process observes — guess results, received
+// messages, fresh AIDs, random numbers — flows through its *Proc handle
+// and is recorded in a replay log. To roll back, the engine interrupts the
+// goroutine (a panic with a private sentinel, recovered at the top of the
+// process loop), truncates the log at the rolled-back interval's start,
+// and re-runs the body: the surviving prefix replays from the log without
+// re-executing sends or effects, and the denied guess then returns false
+// live. The process body must therefore be deterministic given the
+// sequence of Proc results, and must keep all mutable state local to one
+// body invocation.
+//
+// # Effects
+//
+// Externally visible actions must be wrapped in Proc.Effect (or use
+// Proc.Printf): they are buffered on the current interval and released
+// when it finalizes, or aborted when it rolls back. This is what makes
+// speculative output safe.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hope/internal/tracker"
+)
+
+// ErrShutdown is returned by Recv when the runtime is shut down.
+var ErrShutdown = errors.New("hope: runtime shut down")
+
+// ErrNondeterministic reports that a process body diverged from its
+// replay log during rollback re-execution, violating the piecewise
+// determinism contract.
+var ErrNondeterministic = errors.New("hope: process body is not deterministic under replay")
+
+// ErrDuplicateProc reports a Spawn with an already-used name.
+var ErrDuplicateProc = errors.New("hope: duplicate process name")
+
+// ErrUnknownDest reports a Send to an unregistered process name.
+var ErrUnknownDest = errors.New("hope: unknown destination process")
+
+// ErrConflict re-exports the tracker's §5.2 conflicting-resolution error.
+var ErrConflict = tracker.ErrConflict
+
+// LatencyFunc models network latency: the one-way delay for a message
+// from process `from` to process `to`. A nil LatencyFunc (or zero return)
+// delivers synchronously.
+type LatencyFunc func(from, to string) time.Duration
+
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithOutput directs committed Printf output to w (default os.Stdout).
+func WithOutput(w io.Writer) Option { return func(r *Runtime) { r.out = w } }
+
+// WithLatency installs a message latency model.
+func WithLatency(f LatencyFunc) Option { return func(r *Runtime) { r.latency = f } }
+
+// Runtime hosts one distributed HOPE program: a set of named processes,
+// their mailboxes, and the shared dependency tracker.
+type Runtime struct {
+	tr      *tracker.Tracker
+	out     io.Writer
+	outMu   sync.Mutex
+	latency LatencyFunc
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	procs    map[string]*Proc
+	inflight int
+	closed   bool
+
+	linkMu sync.Mutex
+	links  map[linkKey]chan struct{}
+
+	seq atomic.Uint64
+}
+
+// linkKey identifies one directed sender→receiver channel.
+type linkKey struct{ from, to string }
+
+// New creates an empty runtime.
+func New(opts ...Option) *Runtime {
+	r := &Runtime{
+		tr:    tracker.New(),
+		out:   os.Stdout,
+		procs: make(map[string]*Proc),
+		links: make(map[linkKey]chan struct{}),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	for _, o := range opts {
+		o(r)
+	}
+	// Wake pessimistic receivers (RecvSettled) whenever any assumption
+	// resolves: their deliverability depends on global resolution state,
+	// not just their own queue.
+	r.tr.SetResolutionWatcher(func() {
+		r.mu.Lock()
+		procs := make([]*Proc, 0, len(r.procs))
+		for _, p := range r.procs {
+			procs = append(procs, p)
+		}
+		r.cond.Broadcast()
+		r.mu.Unlock()
+		for _, p := range procs {
+			p.mu.Lock()
+			if p.waitSettled {
+				p.cond.Broadcast()
+			}
+			p.mu.Unlock()
+		}
+	})
+	return r
+}
+
+// TrackerStats returns the dependency tracker's activity counters.
+func (r *Runtime) TrackerStats() tracker.Stats { return r.tr.Stats() }
+
+// Spawn starts a named process executing body in its own goroutine. The
+// body must follow the package's piecewise-determinism contract.
+func (r *Runtime) Spawn(name string, body func(*Proc) error) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrShutdown
+	}
+	if _, dup := r.procs[name]; dup {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrDuplicateProc, name)
+	}
+	p := &Proc{rt: r, name: name, body: body, state: stateRunning}
+	p.cond = sync.NewCond(&p.mu)
+	p.id = r.tr.Register((*procHooks)(p))
+	r.procs[name] = p
+	r.mu.Unlock()
+
+	go p.loop()
+	return nil
+}
+
+// procHooks adapts *Proc to tracker.Hooks without exporting the method on
+// the public Proc API surface.
+type procHooks Proc
+
+// NotifyRollback implements tracker.Hooks: the target itself lives in the
+// tracker (merged under its lock); this hook only wakes the process.
+func (h *procHooks) NotifyRollback() {
+	p := (*Proc)(h)
+	p.mu.Lock()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.rt.bump()
+}
+
+// bump wakes Quiesce/Wait evaluators.
+func (r *Runtime) bump() {
+	r.mu.Lock()
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// route delivers msg to the named destination, applying the latency model.
+// Channels are FIFO per directed (from, to) link, as the paper's model
+// (and the replay log) requires: with a latency model installed, each
+// message's delivery waits for its link predecessor even if its own timer
+// fires first.
+func (r *Runtime) route(from, to string, msg *rmsg) error {
+	r.mu.Lock()
+	dst, ok := r.procs[to]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownDest, to)
+	}
+	if r.latency == nil {
+		// Synchronous delivery in the sender's goroutine is trivially
+		// FIFO per link.
+		r.mu.Unlock()
+		dst.enqueue(msg)
+		return nil
+	}
+	delay := r.latency(from, to)
+	r.inflight++
+	r.mu.Unlock()
+
+	// Chain this delivery behind the link's previous one.
+	r.linkMu.Lock()
+	key := linkKey{from: from, to: to}
+	prev := r.links[key]
+	done := make(chan struct{})
+	r.links[key] = done
+	r.linkMu.Unlock()
+
+	go func() {
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if prev != nil {
+			<-prev
+		}
+		// Decrement inflight only after the enqueue is visible, so the
+		// stability scan never observes "no inflight, empty queue" for a
+		// message in this window. enqueue itself takes rt.mu.
+		dst.enqueue(msg)
+		r.mu.Lock()
+		r.inflight--
+		r.cond.Broadcast()
+		r.mu.Unlock()
+		close(done)
+	}()
+	return nil
+}
+
+// Wait blocks until every spawned process has finished (body returned and
+// all of its speculation settled). It returns the processes' errors, if
+// any. Programs whose processes never halt should use Quiesce instead.
+func (r *Runtime) Wait() []error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		alldone := true
+		for _, p := range r.procs {
+			if p.phase() != stateDone {
+				alldone = false
+				break
+			}
+		}
+		if alldone {
+			var errs []error
+			for _, p := range r.procs {
+				if err := p.Err(); err != nil {
+					errs = append(errs, fmt.Errorf("%s: %w", p.name, err))
+				}
+			}
+			return errs
+		}
+		r.cond.Wait()
+	}
+}
+
+// Quiesce blocks until the system is stable: no process is running or
+// replaying, no message is in flight, no rollback is pending, and no
+// blocked process has a deliverable (non-orphaned) message queued. It
+// returns immediately-after-stability; processes may still be parked
+// speculative or blocked in Recv.
+func (r *Runtime) Quiesce() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for !r.stableLocked() {
+		r.cond.Wait()
+	}
+}
+
+// stableLocked evaluates the quiescence predicate. Caller holds r.mu;
+// lock order is r.mu → p.mu → tracker.mu.
+func (r *Runtime) stableLocked() bool {
+	if r.inflight > 0 {
+		return false
+	}
+	for _, p := range r.procs {
+		switch p.phase() {
+		case stateRunning:
+			return false
+		case stateBlocked, stateParked:
+			if p.hasWork() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Shutdown stops the runtime: blocked receives return ErrShutdown and
+// parked processes exit. Safe to call more than once.
+func (r *Runtime) Shutdown() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	procs := make([]*Proc, 0, len(r.procs))
+	for _, p := range r.procs {
+		procs = append(procs, p)
+	}
+	r.mu.Unlock()
+	for _, p := range procs {
+		p.mu.Lock()
+		p.closed = true
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+	r.bump()
+}
+
+// write emits committed output.
+func (r *Runtime) write(s string) {
+	r.outMu.Lock()
+	defer r.outMu.Unlock()
+	_, _ = io.WriteString(r.out, s)
+}
+
+var _ tracker.Hooks = (*procHooks)(nil)
+
+// DebugString renders a point-in-time summary of every process — phase,
+// queue contents classified by tag status, log position — for diagnosing
+// wedged or slow systems. Intended for tests and operational debugging;
+// the snapshot is not atomic across processes.
+func (r *Runtime) DebugString() string {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.procs))
+	procs := make([]*Proc, 0, len(r.procs))
+	for n, p := range r.procs {
+		names = append(names, n)
+		procs = append(procs, p)
+	}
+	inflight := r.inflight
+	r.mu.Unlock()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "runtime: inflight=%d\n", inflight)
+	for i, p := range procs {
+		p.mu.Lock()
+		phase := p.state
+		qlen := len(p.queue)
+		settled, spec, orphan := 0, 0, 0
+		for _, m := range p.queue {
+			s, o := r.tr.Settled(m.tags)
+			switch {
+			case o:
+				orphan++
+			case s:
+				settled++
+			default:
+				spec++
+			}
+		}
+		loglen, replay := len(p.log), p.replay
+		waiting := p.waitPred != nil
+		waitSettled := p.waitSettled
+		p.mu.Unlock()
+		phaseName := map[procPhase]string{
+			stateRunning: "running", stateBlocked: "blocked",
+			stateParked: "parked", stateDone: "done",
+		}[phase]
+		fmt.Fprintf(&b, "  %-14s %-8s queue=%d (settled=%d spec=%d orphan=%d) log=%d replay=%d pred=%v settledWait=%v pending=%v live=%d\n",
+			names[i], phaseName, qlen, settled, spec, orphan, loglen, replay, waiting, waitSettled,
+			r.tr.PendingRollback(p.id), r.tr.LiveIntervals(p.id))
+	}
+	return b.String()
+}
+
+// DebugTracker exposes the tracker's state dump (diagnostics).
+func (r *Runtime) DebugTracker() string { return r.tr.DebugDump() }

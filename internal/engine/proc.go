@@ -1,0 +1,693 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"hope/internal/ids"
+	"hope/internal/tracker"
+)
+
+// AID is a handle on one optimistic assumption.
+type AID struct{ id ids.AID }
+
+// Valid reports whether the AID names a real assumption.
+func (a AID) Valid() bool { return a.id.Valid() }
+
+// String renders the AID in the paper's notation.
+func (a AID) String() string { return a.id.String() }
+
+// Msg is one received message.
+type Msg struct {
+	// From is the sender's process name.
+	From string
+	// Payload is the sent value. Treat it as immutable: the same value
+	// is returned again if the receive is replayed.
+	Payload any
+}
+
+// rmsg is the internal form of a message.
+type rmsg struct {
+	seq     uint64
+	from    string
+	payload any
+	tags    []ids.AID
+}
+
+// procPhase is a process's scheduling state, used by Quiesce.
+type procPhase int
+
+const (
+	stateRunning procPhase = iota + 1
+	stateBlocked           // waiting in Recv
+	stateParked            // body returned, speculation unsettled
+	stateDone              // body returned and all speculation settled
+)
+
+// rollbackSignal unwinds a process goroutine back to its loop for replay.
+type rollbackSignal struct{}
+
+// fatalSignal unwinds a process goroutine on an unrecoverable error.
+type fatalSignal struct{ err error }
+
+type entryKind int
+
+const (
+	entryGuess entryKind = iota + 1
+	entryRecv
+	entrySend
+	entryAffirm
+	entryDeny
+	entryFreeOf
+	entryNewAID
+	entryEffect
+	entryRand
+	entryOutcome
+)
+
+// entry is one replay-log record.
+type entry struct {
+	kind entryKind
+	aid  ids.AID
+	ok   bool         // guess result / resolution success
+	msg  *rmsg        // for entryRecv
+	iv   ids.Interval // for entryRecv: the implicit interval, if any
+	val  int64        // for entryRand
+}
+
+// Proc is the handle a process body uses for every interaction with the
+// HOPE runtime. All methods must be called from the body's goroutine.
+type Proc struct {
+	rt   *Runtime
+	name string
+	id   ids.Proc
+	body func(*Proc) error
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*rmsg
+	closed bool
+	err    error
+	state  procPhase // guarded by mu; transitions broadcast rt.cond
+	// waitPred is the selective-receive predicate active while blocked
+	// (nil = any message); Quiesce's deliverable check honors it.
+	waitPred func(any) bool
+	// waitSettled marks a RecvSettled wait: only messages whose tags have
+	// fully settled (or orphaned) count as deliverable.
+	waitSettled bool
+
+	// Replay state: owned by the process goroutine, no lock needed.
+	// logBase is the absolute index of log[0]: compaction (engine.Loop)
+	// discards settled history by advancing it.
+	logBase int
+	log     []entry
+	replay  int
+	rng     *rand.Rand
+
+	restarts atomic.Int32
+}
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.name }
+
+// Restarts reports how many times the body has been re-executed by
+// rollback.
+func (p *Proc) Restarts() int { return int(p.restarts.Load()) }
+
+// Err returns the body's final error (after Wait).
+func (p *Proc) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+func (p *Proc) phase() procPhase {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state
+}
+
+// toState flips the scheduling phase. The write happens under rt.mu (as
+// well as p.mu) so Quiesce's stability scan — which holds rt.mu — is a
+// consistent snapshot: no proc can change phase or gain queued work while
+// a scan is in progress.
+func (p *Proc) toState(s procPhase) {
+	p.rt.mu.Lock()
+	p.mu.Lock()
+	p.state = s
+	p.mu.Unlock()
+	p.rt.cond.Broadcast()
+	p.rt.mu.Unlock()
+}
+
+// hasWork reports whether a blocked/parked process will make progress:
+// a pending rollback, or (when blocked) a deliverable queued message.
+// Called with rt.mu held; takes p.mu then tracker.mu (lock order).
+func (p *Proc) hasWork() bool {
+	if p.rt.tr.PendingRollback(p.id) {
+		return true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.state != stateBlocked {
+		return false
+	}
+	for _, m := range p.queue {
+		if p.waitPred != nil && !p.waitPred(m.payload) {
+			continue
+		}
+		if p.waitSettled {
+			// Settled messages deliver; orphans are droppable — both are
+			// progress. Speculative messages are not deliverable here.
+			if settled, orphan := p.rt.tr.Settled(m.tags); settled || orphan {
+				return true
+			}
+			continue
+		}
+		if !p.rt.tr.Orphaned(m.tags) {
+			return true
+		}
+	}
+	return false
+}
+
+// enqueue appends a message and wakes the process. Appends happen under
+// rt.mu so the Quiesce scan cannot miss a message enqueued to an
+// already-scanned process (see toState).
+func (p *Proc) enqueue(m *rmsg) {
+	p.rt.mu.Lock()
+	p.mu.Lock()
+	p.queue = append(p.queue, m)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.rt.cond.Broadcast()
+	p.rt.mu.Unlock()
+}
+
+// wake re-evaluates park/recv conditions (registered as a finalize
+// effect so parked processes notice becoming definite).
+func (p *Proc) wake() {
+	p.mu.Lock()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.rt.bump()
+}
+
+// loop is the process goroutine: run the body, replaying after each
+// rollback, until it completes definitively (or fatally).
+func (p *Proc) loop() {
+	for p.attempt() {
+		p.restarts.Add(1)
+	}
+	p.toState(stateDone)
+}
+
+// attempt runs the body once (replaying any surviving prefix) and reports
+// whether a rollback requires another attempt.
+func (p *Proc) attempt() (restart bool) {
+	p.applyPending()
+	defer func() {
+		switch r := recover().(type) {
+		case nil:
+		case rollbackSignal:
+			restart = true
+		case fatalSignal:
+			p.mu.Lock()
+			p.err = r.err
+			p.mu.Unlock()
+		default:
+			panic(r)
+		}
+	}()
+	err := p.body(p)
+	p.mu.Lock()
+	p.err = err
+	p.mu.Unlock()
+	p.park() // may panic rollbackSignal
+	return false
+}
+
+// applyPending truncates the replay log to the pending rollback target:
+// an explicit guess entry is kept and rewritten to return false; an
+// implicit (receive) entry is dropped so the receive re-executes.
+// Messages consumed in the discarded suffix return to the front of the
+// queue; orphans among them are filtered at the next delivery.
+func (p *Proc) applyPending() {
+	tgtp := p.rt.tr.TakePending(p.id)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if tgtp == nil {
+		p.replay = 0
+		return
+	}
+	tgt := *tgtp
+	rel := tgt.LogIndex - p.logBase
+	if rel < 0 || rel >= len(p.log) {
+		// Internal invariant: targets are merged under the tracker lock
+		// in the same critical section that discards intervals, and
+		// compaction only happens while definite, so a target can never
+		// fall outside the retained log.
+		panic(fmt.Sprintf("hope: rollback target %d outside log [%d,%d)", tgt.LogIndex, p.logBase, p.logBase+len(p.log)))
+	}
+	cut := rel
+	if !tgt.Implicit {
+		e := p.log[rel]
+		e.ok = false // guess(x) returns False on resumption (§3, Eq. 24)
+		p.log[rel] = e
+		cut = rel + 1
+	}
+	var requeue []*rmsg
+	for _, e := range p.log[cut:] {
+		if e.kind == entryRecv {
+			if e.iv.Valid() && p.rt.tr.WasFinalized(e.iv) {
+				panic(fmt.Sprintf("hope: requeueing finalized receive %v (log target %d)", e.iv, tgt.LogIndex))
+			}
+			requeue = append(requeue, e.msg)
+		}
+	}
+	p.log = p.log[:cut]
+	p.queue = append(requeue, p.queue...)
+	p.replay = 0
+}
+
+// park blocks a completed body until its speculation settles, the runtime
+// shuts down, or a rollback re-activates it.
+func (p *Proc) park() {
+	p.toState(stateParked)
+	p.mu.Lock()
+	for {
+		if p.rt.tr.PendingRollback(p.id) {
+			p.mu.Unlock()
+			p.toState(stateRunning)
+			panic(rollbackSignal{})
+		}
+		if p.closed {
+			break
+		}
+		if p.rt.tr.Definite(p.id) {
+			break
+		}
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// checkPending panics into the loop if a rollback has been requested.
+func (p *Proc) checkPending() {
+	if p.rt.tr.PendingRollback(p.id) {
+		panic(rollbackSignal{})
+	}
+}
+
+func (p *Proc) replaying() bool { return p.replay < len(p.log) }
+
+// record appends a live log entry and keeps the replay cursor caught up,
+// so replaying() is true only while re-consuming a truncated prefix.
+func (p *Proc) record(e entry) {
+	p.log = append(p.log, e)
+	p.replay = len(p.log)
+}
+
+// next consumes the next replay entry, verifying the body re-executed the
+// same operation.
+func (p *Proc) next(kind entryKind, aid ids.AID) entry {
+	e := p.log[p.replay]
+	if e.kind != kind || (aid.Valid() && e.aid != aid) {
+		panic(fatalSignal{fmt.Errorf("%w: replayed %v, got op kind %d aid %v",
+			ErrNondeterministic, e, kind, aid)})
+	}
+	p.replay++
+	return e
+}
+
+func (p *Proc) fatal(err error) { panic(fatalSignal{err}) }
+
+// trackerErr converts a tracker failure into the proper unwind: a pending
+// rollback becomes the rollback signal (the call belonged to a doomed
+// continuation); anything else is fatal.
+func (p *Proc) trackerErr(err error) {
+	if errors.Is(err, tracker.ErrRolledBack) {
+		panic(rollbackSignal{})
+	}
+	p.fatal(err)
+}
+
+// --- the HOPE primitives ----------------------------------------------------
+
+// NewAID creates a fresh assumption identifier. AIDs may be shared with
+// other processes by sending them in message payloads.
+func (p *Proc) NewAID() AID {
+	p.checkPending()
+	if p.replaying() {
+		return AID{id: p.next(entryNewAID, ids.NoAID).aid}
+	}
+	a := p.rt.tr.NewAID()
+	p.record(entry{kind: entryNewAID, aid: a})
+	return AID{id: a}
+}
+
+// Guess makes the optimistic assumption a: it returns true immediately and
+// speculatively; if a is later denied, the process is rolled back to this
+// point and Guess returns false instead (§3, Section 5.1).
+func (p *Proc) Guess(a AID) bool {
+	p.checkPending()
+	if p.replaying() {
+		return p.next(entryGuess, a.id).ok
+	}
+	out, err := p.rt.tr.Guess(p.id, a.id, p.logBase+len(p.log))
+	if err != nil {
+		p.trackerErr(err)
+	}
+	p.record(entry{kind: entryGuess, aid: a.id, ok: out.Result})
+	if out.Interval.Valid() {
+		// Settle watcher: wake the process when this interval finalizes
+		// so park() notices it became definite. An ErrRolledBack here is
+		// caught by the checkPending below.
+		_ = p.rt.tr.AttachEffect(p.id, p.wake, nil)
+	}
+	p.checkPending()
+	return out.Result
+}
+
+// Affirm asserts that assumption a is correct (Section 5.2). It returns
+// ErrConflict if a was already denied.
+func (p *Proc) Affirm(a AID) error {
+	return p.resolve(entryAffirm, a, p.rt.tr.Affirm)
+}
+
+// Deny asserts that assumption a is incorrect (Section 5.3): every
+// computation dependent on it rolls back. It returns ErrConflict if a was
+// already affirmed.
+func (p *Proc) Deny(a AID) error {
+	return p.resolve(entryDeny, a, p.rt.tr.Deny)
+}
+
+// FreeOf asserts that the current computation is not, and never will be,
+// dependent on a (Section 5.4): it affirms a if so, and denies a —
+// rolling the violating computation back — if not.
+func (p *Proc) FreeOf(a AID) error {
+	return p.resolve(entryFreeOf, a, p.rt.tr.FreeOf)
+}
+
+func (p *Proc) resolve(kind entryKind, a AID, op func(ids.Proc, ids.AID) error) error {
+	p.checkPending()
+	if p.replaying() {
+		if p.next(kind, a.id).ok {
+			return nil
+		}
+		return ErrConflict
+	}
+	err := op(p.id, a.id)
+	if err != nil && err != tracker.ErrConflict {
+		p.trackerErr(err)
+	}
+	p.record(entry{kind: kind, aid: a.id, ok: err == nil})
+	p.checkPending()
+	return err
+}
+
+// Send transmits payload to the named process. The message carries the
+// sender's current assumption tags (§3); if the sender's speculation is
+// later denied the message is discarded as an orphan at the receiver.
+func (p *Proc) Send(to string, payload any) error {
+	p.checkPending()
+	if p.replaying() {
+		p.next(entrySend, ids.NoAID)
+		return nil
+	}
+	tags, err := p.rt.tr.Tag(p.id)
+	if err != nil {
+		p.trackerErr(err)
+	}
+	msg := &rmsg{
+		seq:     p.rt.seq.Add(1),
+		from:    p.name,
+		payload: payload,
+		tags:    tags,
+	}
+	p.record(entry{kind: entrySend})
+	if err := p.rt.route(p.name, to, msg); err != nil {
+		p.fatal(err)
+	}
+	p.checkPending()
+	return nil
+}
+
+// Recv blocks until a message is delivered. Receiving a message tagged
+// with unresolved assumptions implicitly guesses them (§3): the process
+// becomes dependent, and is rolled back to this receive if any is denied.
+// Messages whose assumptions were already denied are silently discarded.
+func (p *Proc) Recv() (Msg, error) { return p.RecvMatch(nil) }
+
+// RecvMatch is a selective receive: it delivers the oldest queued message
+// whose payload satisfies pred (nil matches anything), leaving other
+// messages queued and — crucially — not becoming dependent on their
+// assumption tags. Protocol layers use this to keep verification
+// processes causally clean (a process only inherits the speculation of
+// messages it actually consumes).
+func (p *Proc) RecvMatch(pred func(payload any) bool) (Msg, error) {
+	p.checkPending()
+	if p.replaying() {
+		e := p.next(entryRecv, ids.NoAID)
+		return Msg{From: e.msg.from, Payload: e.msg.payload}, nil
+	}
+	for {
+		p.checkPending()
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return Msg{}, ErrShutdown
+		}
+		var m *rmsg
+		for i, cand := range p.queue {
+			if pred == nil || pred(cand.payload) {
+				m = cand
+				p.queue = append(p.queue[:i:i], p.queue[i+1:]...)
+				break
+			}
+		}
+		p.mu.Unlock()
+		if m != nil {
+			out, err := p.rt.tr.Deliver(p.id, m.tags, p.logBase+len(p.log))
+			if err != nil {
+				// A rollback landed between our pending check and the
+				// delivery: the popped message belongs to the doomed
+				// continuation's future — put it back before unwinding.
+				if errors.Is(err, tracker.ErrRolledBack) {
+					p.mu.Lock()
+					p.queue = append([]*rmsg{m}, p.queue...)
+					p.mu.Unlock()
+				}
+				p.trackerErr(err)
+			}
+			if out.Orphan {
+				p.rt.bump()
+				continue
+			}
+			if out.Interval.Valid() {
+				_ = p.rt.tr.AttachEffect(p.id, p.wake, nil)
+			}
+			p.record(entry{kind: entryRecv, msg: m, iv: out.Interval})
+			p.checkPending()
+			return Msg{From: m.from, Payload: m.payload}, nil
+		}
+
+		// Nothing matching: block.
+		p.mu.Lock()
+		p.waitPred = pred
+		p.mu.Unlock()
+		p.toState(stateBlocked)
+		p.mu.Lock()
+		for !p.hasMatchLocked(pred) && !p.closed && !p.rt.tr.PendingRollback(p.id) {
+			p.cond.Wait()
+		}
+		p.waitPred = nil
+		p.mu.Unlock()
+		p.toState(stateRunning)
+	}
+}
+
+// hasMatchLocked reports whether any queued message satisfies pred.
+// Caller holds p.mu.
+func (p *Proc) hasMatchLocked(pred func(any) bool) bool {
+	for _, m := range p.queue {
+		if pred == nil || pred(m.payload) {
+			return true
+		}
+	}
+	return false
+}
+
+// RecvSettled is the pessimistic receive: it delivers the oldest queued
+// message whose assumption tags have fully settled (every transitive
+// dependency definitively affirmed), discarding orphans, and blocks while
+// only speculative messages are queued. A process that consumes messages
+// exclusively through RecvSettled never becomes speculative itself — the
+// building block for pessimistic servers that serve only committed
+// requests.
+func (p *Proc) RecvSettled() (Msg, error) {
+	p.checkPending()
+	if p.replaying() {
+		e := p.next(entryRecv, ids.NoAID)
+		return Msg{From: e.msg.from, Payload: e.msg.payload}, nil
+	}
+	for {
+		p.checkPending()
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return Msg{}, ErrShutdown
+		}
+		var m *rmsg
+		drop := -1
+		for i, cand := range p.queue {
+			settled, orphan := p.rt.tr.Settled(cand.tags)
+			if orphan {
+				drop = i
+				break
+			}
+			if settled {
+				m = cand
+				p.queue = append(p.queue[:i:i], p.queue[i+1:]...)
+				break
+			}
+		}
+		if drop >= 0 {
+			p.queue = append(p.queue[:drop:drop], p.queue[drop+1:]...)
+			p.mu.Unlock()
+			p.rt.bump()
+			continue
+		}
+		p.mu.Unlock()
+		if m != nil {
+			// Settled tags resolve to nothing: Deliver is a no-op on the
+			// dependency state but is kept for accounting symmetry.
+			if _, err := p.rt.tr.Deliver(p.id, m.tags, p.logBase+len(p.log)); err != nil {
+				if errors.Is(err, tracker.ErrRolledBack) {
+					p.mu.Lock()
+					p.queue = append([]*rmsg{m}, p.queue...)
+					p.mu.Unlock()
+				}
+				p.trackerErr(err)
+			}
+			p.record(entry{kind: entryRecv, msg: m})
+			p.checkPending()
+			return Msg{From: m.from, Payload: m.payload}, nil
+		}
+
+		// Only speculative (or no) messages: block until something
+		// settles, arrives, or resolves.
+		p.mu.Lock()
+		p.waitSettled = true
+		p.mu.Unlock()
+		p.toState(stateBlocked)
+		p.mu.Lock()
+		for !p.hasSettledLocked() && !p.closed && !p.rt.tr.PendingRollback(p.id) {
+			p.cond.Wait()
+		}
+		p.waitSettled = false
+		p.mu.Unlock()
+		p.toState(stateRunning)
+	}
+}
+
+// hasSettledLocked reports whether any queued message has settled or
+// orphaned tags. Caller holds p.mu.
+func (p *Proc) hasSettledLocked() bool {
+	for _, m := range p.queue {
+		if settled, orphan := p.rt.tr.Settled(m.tags); settled || orphan {
+			return true
+		}
+	}
+	return false
+}
+
+// Outcome reports an assumption's resolution as observed now: resolved is
+// true once a is definitively affirmed or denied, and affirmed carries
+// the verdict. The read is recorded in the replay log, so bodies may
+// branch on it deterministically.
+func (p *Proc) Outcome(a AID) (resolved, affirmed bool) {
+	p.checkPending()
+	if p.replaying() {
+		e := p.next(entryOutcome, a.id)
+		return e.ok, e.val != 0
+	}
+	st := p.rt.tr.Status(a.id)
+	resolved = st == tracker.Affirmed || st == tracker.Denied
+	affirmed = st == tracker.Affirmed
+	v := int64(0)
+	if affirmed {
+		v = 1
+	}
+	p.record(entry{kind: entryOutcome, aid: a.id, ok: resolved, val: v})
+	return resolved, affirmed
+}
+
+// Effect registers an externally visible action. commit runs when the
+// current speculation is confirmed (immediately if the process is
+// definite); abort runs if it is rolled back. Neither callback may call
+// Proc methods.
+func (p *Proc) Effect(commit, abort func()) {
+	p.checkPending()
+	if p.replaying() {
+		p.next(entryEffect, ids.NoAID)
+		return
+	}
+	if err := p.rt.tr.AttachEffect(p.id, commit, abort); err != nil {
+		p.trackerErr(err)
+	}
+	p.record(entry{kind: entryEffect})
+	p.checkPending()
+}
+
+// Printf formats to the runtime's output as a buffered effect: the text
+// appears only when the current speculation is confirmed.
+func (p *Proc) Printf(format string, args ...any) {
+	s := fmt.Sprintf(format, args...)
+	p.Effect(func() { p.rt.write(s) }, nil)
+}
+
+// Rand returns a deterministic pseudo-random int63, stable across replay.
+func (p *Proc) Rand() int64 {
+	p.checkPending()
+	if p.replaying() {
+		return p.next(entryRand, ids.NoAID).val
+	}
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(int64(p.id)))
+	}
+	v := p.rng.Int63()
+	p.record(entry{kind: entryRand, val: v})
+	return v
+}
+
+// Definite reports whether the process currently has no unsettled
+// speculation.
+func (p *Proc) Definite() bool {
+	p.checkPending()
+	return p.rt.tr.Definite(p.id)
+}
+
+// compact discards the settled replay-log prefix. Preconditions (enforced
+// by Loop, the only caller): the process is definite — no live intervals,
+// so no rollback can target the discarded history — and the caller is the
+// process goroutine itself at a point where it can re-derive its state
+// without replay (Loop snapshots user state first).
+func (p *Proc) compact() {
+	p.mu.Lock()
+	p.logBase += len(p.log)
+	p.log = p.log[:0]
+	p.replay = 0
+	p.mu.Unlock()
+}
+
+// Compactable reports whether the process may compact right now: it is
+// definite with no pending rollback. Called from the process goroutine;
+// the answer cannot be invalidated concurrently because speculation
+// enters only through this process's own calls.
+func (p *Proc) compactable() bool {
+	return !p.rt.tr.PendingRollback(p.id) && p.rt.tr.Definite(p.id)
+}

@@ -1,0 +1,30 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestReproFigure2Loop hammers the figure2 scenario to surface ordering
+// bugs; removed once stable.
+func TestReproFigure2Loop(t *testing.T) {
+	if os.Getenv("REPRO") == "" {
+		t.Skip("set REPRO=1")
+	}
+	for i := 0; i < 2000; i++ {
+		total := 30
+		if i%2 == 0 {
+			total = 60
+		}
+		lineno, newpage, _ := figure2(t, total, 0)
+		wantLine, wantNew := total+1, 0
+		if total >= 50 {
+			wantNew = 1
+		}
+		if lineno != wantLine || newpage != wantNew {
+			t.Fatalf("iter %d: lineno=%d newpage=%d want %d/%d", i, lineno, newpage, wantLine, wantNew)
+		}
+	}
+	fmt.Println("repro loop clean")
+}

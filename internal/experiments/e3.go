@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hope/internal/bench"
+	"hope/internal/engine"
+	"hope/internal/rpc"
+	"hope/internal/workload"
+)
+
+// runAccuracyWorkload issues n streamed (or sync) echo calls where each
+// prediction is right per the accuracy trace, returning the settled
+// makespan.
+func runAccuracyWorkload(trace []bool, latency time.Duration, streamed, ordered bool) (time.Duration, error) {
+	rt := engine.New(
+		engine.WithOutput(io.Discard),
+		engine.WithLatency(func(from, to string) time.Duration { return latency }),
+	)
+	defer rt.Shutdown()
+
+	serve := rpc.Serve
+	if ordered {
+		serve = rpc.ServeOrdered
+	}
+	if err := serve(rt, "svc", func(req any) any { return req }); err != nil {
+		return 0, err
+	}
+	client, err := rpc.NewClient(rt, "caller")
+	if err != nil {
+		return 0, err
+	}
+
+	start := time.Now()
+	if err := rt.Spawn("caller", func(p *engine.Proc) error {
+		s := client.Session(p)
+		for i, accurate := range trace {
+			if !streamed {
+				if _, err := s.Call("svc", i); err != nil {
+					return err
+				}
+				continue
+			}
+			predicted := i
+			if !accurate {
+				predicted = -1 // deliberately wrong
+			}
+			if _, _, err := s.StreamCall("svc", i, predicted); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+
+	rt.Quiesce()
+	elapsed := time.Since(start)
+	rt.Shutdown()
+	for _, err := range rt.Wait() {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return elapsed, nil
+}
+
+// E3AccuracySweep measures the optimism trade-off at the core of §1: the
+// streamed gain as a function of guess accuracy, exposing the crossover
+// below which rollback churn costs more than the latency saved. With the
+// §5.6 conservative approximation, a misprediction also discards the
+// speculative tail issued after it, so the effective penalty grows faster
+// than (1 - accuracy) — the crossover sits well above zero accuracy.
+func E3AccuracySweep(w io.Writer) error {
+	const calls = 24
+	const latency = 2 * time.Millisecond
+	t := bench.NewTable(
+		fmt.Sprintf("E3: accuracy sweep (%d calls, %v one-way latency)", calls, latency),
+		"accuracy", "sync", "optimistic server", "speedup", "ordered server", "speedup")
+	for _, acc := range []float64{1.0, 0.9, 0.75, 0.5, 0.25, 0.0} {
+		trace := workload.AccuracyTrace(calls, acc, 11)
+		syncT, err := runAccuracyWorkload(trace, latency, false, false)
+		if err != nil {
+			return err
+		}
+		optT, err := runAccuracyWorkload(trace, latency, true, false)
+		if err != nil {
+			return err
+		}
+		ordT, err := runAccuracyWorkload(trace, latency, true, true)
+		if err != nil {
+			return err
+		}
+		t.AddRow(fmt.Sprintf("%.2f", acc), ms(syncT),
+			ms(optT), bench.Speedup(syncT, optT),
+			ms(ordT), bench.Speedup(syncT, ordT))
+	}
+	return render(w, t)
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"hope/internal/bench"
+	"hope/internal/engine"
+	"hope/internal/tracker"
+)
+
+// cascade builds a head process speculating `depth` nested assumptions,
+// forwarding a value through `procs` relay processes (each becoming a
+// transitive dependent), then denies the innermost or outermost
+// assumption and measures settlement.
+func cascade(depth, procs int, denyOutermost bool) (time.Duration, tracker.Stats, error) {
+	type stats = tracker.Stats
+	rt := engine.New(engine.WithOutput(io.Discard))
+	defer rt.Shutdown()
+
+	aidCh := make(chan []engine.AID, 1)
+	relayName := func(i int) string { return fmt.Sprintf("relay%d", i) }
+
+	// Head: nest `depth` guesses, then send through the relay chain.
+	if err := rt.Spawn("head", func(p *engine.Proc) error {
+		aids := make([]engine.AID, depth)
+		for i := range aids {
+			aids[i] = p.NewAID()
+		}
+		select {
+		case aidCh <- aids:
+		default:
+		}
+		taken := 0
+		for _, x := range aids {
+			if p.Guess(x) {
+				taken++
+			}
+		}
+		if procs > 0 {
+			if err := p.Send(relayName(0), taken); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return 0, stats{}, err
+	}
+	for i := 0; i < procs; i++ {
+		i := i
+		if err := rt.Spawn(relayName(i), func(p *engine.Proc) error {
+			m, err := p.Recv()
+			if err != nil {
+				if errors.Is(err, engine.ErrShutdown) {
+					return nil
+				}
+				return err
+			}
+			if i+1 < procs {
+				return p.Send(relayName(i+1), m.Payload)
+			}
+			return nil
+		}); err != nil {
+			return 0, stats{}, err
+		}
+	}
+
+	// Let the speculation spread fully, then deny and time settlement.
+	rt.Quiesce()
+	aids := <-aidCh
+	start := time.Now()
+	if err := rt.Spawn("denier", func(p *engine.Proc) error {
+		x := aids[len(aids)-1]
+		if denyOutermost {
+			x = aids[0]
+		}
+		if err := p.Deny(x); err != nil {
+			return err
+		}
+		// Resolve the rest so everything settles.
+		for _, y := range aids {
+			if err := p.Affirm(y); err != nil && !errors.Is(err, engine.ErrConflict) {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return 0, stats{}, err
+	}
+	rt.Quiesce()
+	elapsed := time.Since(start)
+	st := rt.TrackerStats()
+	rt.Shutdown()
+	rt.Wait()
+	return elapsed, st, nil
+}
+
+// E4RollbackDepth characterizes Equation 24 + Theorem 5.1 operationally:
+// the cost of a definite deny as a function of how deep the speculation
+// nests (intervals per process) and how far it has spread (transitive
+// dependents across processes). Denying the outermost assumption
+// truncates the whole chain; denying the innermost truncates one
+// interval.
+func E4RollbackDepth(w io.Writer) error {
+	t := bench.NewTable("E4: rollback cascade cost",
+		"depth", "relays", "deny", "settle", "intervals rolled back")
+	for _, depth := range []int{1, 4, 16, 64} {
+		for _, relays := range []int{0, 4, 15} {
+			for _, outer := range []bool{true, false} {
+				elapsed, st, err := cascade(depth, relays, outer)
+				if err != nil {
+					return err
+				}
+				which := "innermost"
+				if outer {
+					which = "outermost"
+				}
+				t.AddRow(depth, relays, which, ms(elapsed), st.RolledBack)
+			}
+		}
+	}
+	return render(w, t)
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that the race detector is active: wall-clock shape
+// assertions are skipped because instrumentation overhead distorts the
+// concurrency-heavy optimistic paths far more than the serial baselines.
+const raceEnabled = true

@@ -1,0 +1,89 @@
+// Package ids defines the identifier types shared by the semantics machine
+// and the concurrent runtime.
+//
+// The paper (Section 4) names three kinds of entities: processes (P, Q, …),
+// assumption identifiers (X, Y, Z — Definition 4.2) and intervals
+// (A, B, C — Definition 4.4). Identifiers are small integers wrapped in
+// distinct types so that an AID can never be confused with an interval name
+// at compile time; both layers format them in the paper's style (X3, A17)
+// for traces and error messages.
+package ids
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// AID names an optimistic assumption (an "assumption identifier",
+// Definition 4.2). The zero value NoAID names no assumption.
+type AID uint64
+
+// NoAID is the zero AID; it never names a real assumption.
+const NoAID AID = 0
+
+// String renders the AID in the paper's notation (X1, X2, …).
+func (a AID) String() string {
+	if a == NoAID {
+		return "X∅"
+	}
+	return fmt.Sprintf("X%d", uint64(a))
+}
+
+// Valid reports whether a names a real assumption.
+func (a AID) Valid() bool { return a != NoAID }
+
+// Interval names one interval of one process's history (Definition 4.4).
+// The zero value NoInterval means "no current interval", the paper's
+// S.I = ∅ condition that marks a process as definite.
+type Interval uint64
+
+// NoInterval is the zero Interval; a process whose current interval is
+// NoInterval is executing definitely.
+const NoInterval Interval = 0
+
+// String renders the interval in the paper's notation (A1, A2, …).
+func (iv Interval) String() string {
+	if iv == NoInterval {
+		return "A∅"
+	}
+	return fmt.Sprintf("A%d", uint64(iv))
+}
+
+// Valid reports whether iv names a real interval.
+func (iv Interval) Valid() bool { return iv != NoInterval }
+
+// Proc names a process. Process names are assigned by the layer that owns
+// them (machine or runtime) starting from 1.
+type Proc uint64
+
+// NoProc is the zero Proc, naming no process.
+const NoProc Proc = 0
+
+// String renders the process in the paper's notation (P1, P2, …).
+func (p Proc) String() string {
+	if p == NoProc {
+		return "P∅"
+	}
+	return fmt.Sprintf("P%d", uint64(p))
+}
+
+// Valid reports whether p names a real process.
+func (p Proc) Valid() bool { return p != NoProc }
+
+// Gen allocates identifiers. It is safe for concurrent use; the semantics
+// layer uses it single-threaded, the runtime concurrently. The zero value
+// is ready to use and never returns a zero identifier.
+type Gen struct {
+	aid      atomic.Uint64
+	interval atomic.Uint64
+	proc     atomic.Uint64
+}
+
+// NextAID returns a fresh AID.
+func (g *Gen) NextAID() AID { return AID(g.aid.Add(1)) }
+
+// NextInterval returns a fresh Interval.
+func (g *Gen) NextInterval() Interval { return Interval(g.interval.Add(1)) }
+
+// NextProc returns a fresh Proc.
+func (g *Gen) NextProc() Proc { return Proc(g.proc.Add(1)) }

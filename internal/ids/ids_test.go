@@ -1,0 +1,95 @@
+package ids
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestZeroValuesInvalid(t *testing.T) {
+	if NoAID.Valid() || NoInterval.Valid() || NoProc.Valid() {
+		t.Fatal("zero identifiers must be invalid")
+	}
+	if AID(1).Valid() != true || Interval(1).Valid() != true || Proc(1).Valid() != true {
+		t.Fatal("non-zero identifiers must be valid")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{AID(3).String(), "X3"},
+		{NoAID.String(), "X∅"},
+		{Interval(17).String(), "A17"},
+		{NoInterval.String(), "A∅"},
+		{Proc(2).String(), "P2"},
+		{NoProc.String(), "P∅"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String = %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestGenNeverReturnsZero(t *testing.T) {
+	var g Gen
+	if g.NextAID() == NoAID {
+		t.Fatal("NextAID returned NoAID")
+	}
+	if g.NextInterval() == NoInterval {
+		t.Fatal("NextInterval returned NoInterval")
+	}
+	if g.NextProc() == NoProc {
+		t.Fatal("NextProc returned NoProc")
+	}
+}
+
+func TestGenSequential(t *testing.T) {
+	var g Gen
+	for want := AID(1); want <= 100; want++ {
+		if got := g.NextAID(); got != want {
+			t.Fatalf("NextAID = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGenConcurrentUnique(t *testing.T) {
+	var g Gen
+	const workers, per = 8, 1000
+	out := make(chan AID, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				out <- g.NextAID()
+			}
+		}()
+	}
+	wg.Wait()
+	close(out)
+	seen := make(map[AID]bool, workers*per)
+	for a := range out {
+		if seen[a] {
+			t.Fatalf("duplicate AID %v", a)
+		}
+		seen[a] = true
+	}
+	if len(seen) != workers*per {
+		t.Fatalf("got %d unique AIDs, want %d", len(seen), workers*per)
+	}
+}
+
+func TestGenIndependentStreams(t *testing.T) {
+	var g Gen
+	g.NextAID()
+	g.NextAID()
+	if got := g.NextInterval(); got != Interval(1) {
+		t.Fatalf("interval stream affected by AID stream: %v", got)
+	}
+	if got := g.NextProc(); got != Proc(1) {
+		t.Fatalf("proc stream affected by other streams: %v", got)
+	}
+}

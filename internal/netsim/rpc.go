@@ -1,0 +1,88 @@
+package netsim
+
+import "time"
+
+// This file provides the two traffic patterns contrasted in §3.1 of the
+// paper: synchronous request/response RPC (latency-bound) and streamed
+// one-way transmission (bandwidth-bound). Experiment E2 sweeps RTT and
+// packet size over these to regenerate the paper's arithmetic.
+
+// SyncRPCResult summarizes a synchronous RPC run.
+type SyncRPCResult struct {
+	Calls        int
+	Elapsed      time.Duration
+	CallsPerSec  float64
+	MeanCallTime time.Duration
+}
+
+// SyncRPC simulates n synchronous request/response calls over d: each
+// request departs only after the previous reply arrived (the idle-waiting
+// pattern of Figure 1). Packet sizes are in bytes.
+func SyncRPC(sim *Sim, d *Duplex, reqSize, respSize, n int) SyncRPCResult {
+	start := sim.Now()
+	var issue func(remaining int)
+	issue = func(remaining int) {
+		if remaining == 0 {
+			return
+		}
+		d.AtoB.Send(reqSize, func() {
+			// Server responds immediately.
+			d.BtoA.Send(respSize, func() {
+				issue(remaining - 1)
+			})
+		})
+	}
+	issue(n)
+	end := sim.Run()
+	elapsed := end - start
+	res := SyncRPCResult{Calls: n, Elapsed: elapsed}
+	if elapsed > 0 {
+		res.CallsPerSec = float64(n) / elapsed.Seconds()
+		res.MeanCallTime = elapsed / time.Duration(n)
+	}
+	return res
+}
+
+// StreamResult summarizes a streamed transmission run.
+type StreamResult struct {
+	Packets       int
+	Elapsed       time.Duration
+	PacketsPerSec float64
+}
+
+// Stream simulates n back-to-back one-way packets over l — the pattern
+// optimism converts RPC traffic into (Call Streaming, §3.1): the sender
+// never waits. Elapsed time runs to the last delivery.
+func Stream(sim *Sim, l *Link, size, n int) StreamResult {
+	start := sim.Now()
+	for i := 0; i < n; i++ {
+		l.Send(size, func() {})
+	}
+	end := sim.Run()
+	elapsed := end - start
+	res := StreamResult{Packets: n, Elapsed: elapsed}
+	if elapsed > 0 {
+		res.PacketsPerSec = float64(n) / elapsed.Seconds()
+	}
+	return res
+}
+
+// PipelinedRPC simulates n request/response calls where requests are
+// streamed without waiting (responses return asynchronously) — the
+// optimistic transformation of SyncRPC. Elapsed runs to the last reply.
+func PipelinedRPC(sim *Sim, d *Duplex, reqSize, respSize, n int) SyncRPCResult {
+	start := sim.Now()
+	for i := 0; i < n; i++ {
+		d.AtoB.Send(reqSize, func() {
+			d.BtoA.Send(respSize, func() {})
+		})
+	}
+	end := sim.Run()
+	elapsed := end - start
+	res := SyncRPCResult{Calls: n, Elapsed: elapsed}
+	if elapsed > 0 {
+		res.CallsPerSec = float64(n) / elapsed.Seconds()
+		res.MeanCallTime = elapsed / time.Duration(n)
+	}
+	return res
+}

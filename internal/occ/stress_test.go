@@ -1,0 +1,64 @@
+package occ
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+	"testing"
+
+	"hope/internal/engine"
+)
+
+// TestStressContention hammers the optimistic primary with contending
+// read-modify-write clients, checking conservation every iteration. Run
+// with REPRO=1 for the heavy version (the wedge class of DESIGN.md
+// finding 4 reproduces only under load).
+func TestStressContention(t *testing.T) {
+	iters := 10
+	if os.Getenv("REPRO") != "" {
+		iters = 150
+	}
+	const clients, rounds = 3, 6
+	inc := func(v any) any { return v.(int) + 1 }
+	for iter := 0; iter < iters; iter++ {
+		rt := newRT(t)
+		if err := ServePrimary(rt, "primary", map[string]any{"n": 0}); err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < clients; c++ {
+			name := fmt.Sprintf("c%d", c)
+			if err := rt.Spawn(name, func(p *engine.Proc) error {
+				s := NewSession(p, "primary")
+				for i := 0; i < rounds; i++ {
+					if _, err := s.Refresh("n"); err != nil {
+						return err
+					}
+					if _, err := s.Update("n", inc); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rt.Quiesce()
+		var final atomic.Int64
+		if err := rt.Spawn(fmt.Sprintf("audit%d", iter), func(p *engine.Proc) error {
+			s := NewSession(p, "primary")
+			v, err := s.Refresh("n")
+			if err != nil {
+				return err
+			}
+			final.Store(int64(v.(int)))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		quiesceShutdown(t, rt)
+		if final.Load() != clients*rounds {
+			t.Fatalf("iter %d: final = %d, want %d (lost or wedged updates)\n%s",
+				iter, final.Load(), clients*rounds, rt.DebugTracker())
+		}
+	}
+}

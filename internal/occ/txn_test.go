@@ -1,0 +1,255 @@
+package occ
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"hope/internal/engine"
+)
+
+func TestTxnReadOnlyIsOptimistic(t *testing.T) {
+	rt := newRT(t)
+	if err := ServePrimary(rt, "primary", map[string]any{"a": 1, "b": 2}); err != nil {
+		t.Fatal(err)
+	}
+	var sum atomic.Int64
+	var opt atomic.Bool
+	if err := rt.Spawn("client", func(p *engine.Proc) error {
+		s := NewSession(p, "primary")
+		ok, err := s.Txn(func(tx *Tx) error {
+			a, err := tx.Read("a")
+			if err != nil {
+				return err
+			}
+			b, err := tx.Read("b")
+			if err != nil {
+				return err
+			}
+			sum.Store(int64(a.(int) + b.(int)))
+			return nil
+		})
+		opt.Store(ok)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	quiesceShutdown(t, rt)
+	if sum.Load() != 3 || !opt.Load() {
+		t.Fatalf("sum=%d optimistic=%v", sum.Load(), opt.Load())
+	}
+}
+
+func TestTxnAtomicTransfer(t *testing.T) {
+	// The classic bank transfer: both keys move together or not at all.
+	rt := newRT(t)
+	if err := ServePrimary(rt, "primary", map[string]any{"alice": 100, "bob": 0}); err != nil {
+		t.Fatal(err)
+	}
+	var optimistic atomic.Bool
+	if err := rt.Spawn("client", func(p *engine.Proc) error {
+		s := NewSession(p, "primary")
+		ok, err := s.Txn(func(tx *Tx) error {
+			a, err := tx.Read("alice")
+			if err != nil {
+				return err
+			}
+			b, err := tx.Read("bob")
+			if err != nil {
+				return err
+			}
+			tx.Write("alice", a.(int)-30)
+			tx.Write("bob", b.(int)+30)
+			return nil
+		})
+		optimistic.Store(ok)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Quiesce()
+	var alice, bob atomic.Int64
+	if err := rt.Spawn("auditor", func(p *engine.Proc) error {
+		s := NewSession(p, "primary")
+		a, err := s.Refresh("alice")
+		if err != nil {
+			return err
+		}
+		b, err := s.Refresh("bob")
+		if err != nil {
+			return err
+		}
+		alice.Store(int64(a.(int)))
+		bob.Store(int64(b.(int)))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	quiesceShutdown(t, rt)
+	if alice.Load() != 70 || bob.Load() != 30 {
+		t.Fatalf("alice=%d bob=%d, want 70/30", alice.Load(), bob.Load())
+	}
+	if !optimistic.Load() {
+		t.Fatal("uncontended transfer should commit optimistically")
+	}
+}
+
+func TestTxnReadsOwnWrites(t *testing.T) {
+	rt := newRT(t)
+	if err := ServePrimary(rt, "primary", map[string]any{"k": 1}); err != nil {
+		t.Fatal(err)
+	}
+	var seen atomic.Int64
+	if err := rt.Spawn("client", func(p *engine.Proc) error {
+		s := NewSession(p, "primary")
+		_, err := s.Txn(func(tx *Tx) error {
+			tx.Write("k", 42)
+			v, err := tx.Read("k")
+			if err != nil {
+				return err
+			}
+			seen.Store(int64(v.(int)))
+			return nil
+		})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	quiesceShutdown(t, rt)
+	if seen.Load() != 42 {
+		t.Fatalf("read-own-write = %d, want 42", seen.Load())
+	}
+}
+
+func TestTxnConflictRetriesAtomically(t *testing.T) {
+	// Two clients transfer concurrently between the same accounts; total
+	// balance must be conserved and both transfers applied.
+	rt := newRT(t)
+	if err := ServePrimary(rt, "primary", map[string]any{"x": 100, "y": 100}); err != nil {
+		t.Fatal(err)
+	}
+	transfer := func(amount int) func(p *engine.Proc) error {
+		return func(p *engine.Proc) error {
+			s := NewSession(p, "primary")
+			for i := 0; i < 3; i++ {
+				if _, err := s.Refresh("x"); err != nil {
+					return err
+				}
+				if _, err := s.Refresh("y"); err != nil {
+					return err
+				}
+				if _, err := s.Txn(func(tx *Tx) error {
+					xv, err := tx.Read("x")
+					if err != nil {
+						return err
+					}
+					yv, err := tx.Read("y")
+					if err != nil {
+						return err
+					}
+					tx.Write("x", xv.(int)-amount)
+					tx.Write("y", yv.(int)+amount)
+					return nil
+				}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	if err := rt.Spawn("c1", transfer(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Spawn("c2", transfer(2)); err != nil {
+		t.Fatal(err)
+	}
+	rt.Quiesce()
+	var x, y atomic.Int64
+	if err := rt.Spawn("auditor", func(p *engine.Proc) error {
+		s := NewSession(p, "primary")
+		xv, err := s.Refresh("x")
+		if err != nil {
+			return err
+		}
+		yv, err := s.Refresh("y")
+		if err != nil {
+			return err
+		}
+		x.Store(int64(xv.(int)))
+		y.Store(int64(yv.(int)))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	quiesceShutdown(t, rt)
+	// 3 transfers of 1 + 3 of 2 = 9 moved from x to y; conservation.
+	if x.Load()+y.Load() != 200 {
+		t.Fatalf("balance not conserved: x=%d y=%d", x.Load(), y.Load())
+	}
+	if x.Load() != 100-9 || y.Load() != 100+9 {
+		t.Fatalf("transfers lost: x=%d y=%d, want 91/109", x.Load(), y.Load())
+	}
+}
+
+func TestTxnSpeculativeChainAcrossTxns(t *testing.T) {
+	// A second transaction building on the first's speculative state
+	// inherits its assumption and commits with it.
+	rt := newRT(t)
+	if err := ServePrimary(rt, "primary", map[string]any{"n": 0}); err != nil {
+		t.Fatal(err)
+	}
+	var opt1, opt2 atomic.Bool
+	if err := rt.Spawn("client", func(p *engine.Proc) error {
+		s := NewSession(p, "primary")
+		ok, err := s.Txn(func(tx *Tx) error {
+			v, err := tx.Read("n")
+			if err != nil {
+				return err
+			}
+			tx.Write("n", v.(int)+1)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		opt1.Store(ok)
+		ok, err = s.Txn(func(tx *Tx) error {
+			v, err := tx.Read("n")
+			if err != nil {
+				return err
+			}
+			if v.(int) != 1 {
+				return fmt.Errorf("second txn saw %v, want speculative 1", v)
+			}
+			tx.Write("n", v.(int)+1)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		opt2.Store(ok)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Quiesce()
+	var final atomic.Int64
+	if err := rt.Spawn("auditor", func(p *engine.Proc) error {
+		s := NewSession(p, "primary")
+		v, err := s.Refresh("n")
+		if err != nil {
+			return err
+		}
+		final.Store(int64(v.(int)))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	quiesceShutdown(t, rt)
+	if final.Load() != 2 {
+		t.Fatalf("final = %d, want 2", final.Load())
+	}
+	if !opt1.Load() || !opt2.Load() {
+		t.Fatalf("both txns should commit optimistically: %v %v", opt1.Load(), opt2.Load())
+	}
+}

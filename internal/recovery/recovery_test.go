@@ -1,0 +1,187 @@
+package recovery
+
+import (
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"hope/internal/engine"
+)
+
+// slowStable delays checkpoint traffic so injected crashes reliably win
+// the race against the checkpoint ack.
+func slowStable(from, to string) time.Duration {
+	if to == "stable" {
+		return 3 * time.Millisecond
+	}
+	return 0
+}
+
+func TestCrashFreeMatchesReference(t *testing.T) {
+	cfg := Config{Workers: 4, Rounds: 12, CheckpointEvery: 3}
+	want := Reference(cfg)
+	res, err := Run(cfg, engine.WithOutput(io.Discard))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Checksums, want) {
+		t.Fatalf("checksums = %v, want %v", res.Checksums, want)
+	}
+	for i, r := range res.Recoveries {
+		if r != 0 {
+			t.Errorf("worker %d recoveries = %d, want 0", i, r)
+		}
+	}
+}
+
+func TestSyncBaselineMatchesReference(t *testing.T) {
+	cfg := Config{Workers: 3, Rounds: 9, CheckpointEvery: 3, Sync: true}
+	want := Reference(cfg)
+	res, err := Run(cfg, engine.WithOutput(io.Discard))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Checksums, want) {
+		t.Fatalf("checksums = %v, want %v", res.Checksums, want)
+	}
+}
+
+func TestSingleCrashRecovers(t *testing.T) {
+	cfg := Config{
+		Workers:         3,
+		Rounds:          12,
+		CheckpointEvery: 3,
+		Crashes:         map[int][]int{1: {2}}, // worker 1 crashes in its 2nd epoch
+	}
+	want := Reference(cfg)
+	res, err := Run(cfg, engine.WithOutput(io.Discard), engine.WithLatency(slowStable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Checksums, want) {
+		t.Fatalf("checksums after crash = %v, want %v", res.Checksums, want)
+	}
+	if res.Recoveries[1] == 0 {
+		t.Error("worker 1 should have recovered at least once")
+	}
+	t.Logf("recoveries=%v restarts=%v", res.Recoveries, res.Restarts)
+}
+
+func TestMultipleCrashesAcrossWorkers(t *testing.T) {
+	cfg := Config{
+		Workers:         4,
+		Rounds:          16,
+		CheckpointEvery: 2,
+		Crashes:         map[int][]int{0: {3}, 2: {5}, 3: {7}},
+	}
+	want := Reference(cfg)
+	res, err := Run(cfg, engine.WithOutput(io.Discard), engine.WithLatency(slowStable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Checksums, want) {
+		t.Fatalf("checksums = %v, want %v", res.Checksums, want)
+	}
+	total := 0
+	for _, r := range res.Recoveries {
+		total += r
+	}
+	if total == 0 {
+		t.Error("expected at least one recovery across the run")
+	}
+	t.Logf("recoveries=%v restarts=%v", res.Recoveries, res.Restarts)
+}
+
+func TestRepeatedCrashSameWorker(t *testing.T) {
+	cfg := Config{
+		Workers:         2,
+		Rounds:          10,
+		CheckpointEvery: 2,
+		Crashes:         map[int][]int{0: {2, 4}},
+	}
+	want := Reference(cfg)
+	res, err := Run(cfg, engine.WithOutput(io.Discard), engine.WithLatency(slowStable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Checksums, want) {
+		t.Fatalf("checksums = %v, want %v", res.Checksums, want)
+	}
+}
+
+func TestReferenceProperties(t *testing.T) {
+	cfg := Config{Workers: 3, Rounds: 5, CheckpointEvery: 2}
+	ref := Reference(cfg)
+	if len(ref) != 3 {
+		t.Fatalf("reference length = %d", len(ref))
+	}
+	// Distinct workers fold distinct streams.
+	if ref[0] == ref[1] || ref[1] == ref[2] {
+		t.Fatalf("reference checksums should differ: %v", ref)
+	}
+	// Deterministic.
+	if !reflect.DeepEqual(ref, Reference(cfg)) {
+		t.Fatal("reference not deterministic")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	c := Config{}.normalize()
+	if c.Workers != 2 || c.Rounds != 1 || c.CheckpointEvery != 1 {
+		t.Fatalf("normalize = %+v", c)
+	}
+}
+
+func TestOptimisticFasterThanSyncUnderStableLatency(t *testing.T) {
+	// The paper's motivation: asynchronous (optimistic) checkpointing
+	// overlaps stable-storage latency with computation.
+	lat := func(from, to string) time.Duration {
+		if to == "stable" || strings.HasPrefix(from, "stable") {
+			return 2 * time.Millisecond
+		}
+		return 0
+	}
+	cfg := Config{Workers: 2, Rounds: 12, CheckpointEvery: 1}
+
+	start := time.Now()
+	if _, err := Run(cfg, engine.WithOutput(io.Discard), engine.WithLatency(lat)); err != nil {
+		t.Fatal(err)
+	}
+	opt := time.Since(start)
+
+	cfg.Sync = true
+	start = time.Now()
+	if _, err := Run(cfg, engine.WithOutput(io.Discard), engine.WithLatency(lat)); err != nil {
+		t.Fatal(err)
+	}
+	syncT := time.Since(start)
+
+	if opt >= syncT {
+		t.Fatalf("optimistic %v not faster than sync %v", opt, syncT)
+	}
+	t.Logf("optimistic=%v sync=%v speedup=%.1fx", opt, syncT, float64(syncT)/float64(opt))
+}
+
+func TestCommittedTraceIsCausal(t *testing.T) {
+	cfg := Config{
+		Workers:         3,
+		Rounds:          12,
+		CheckpointEvery: 3,
+		Crashes:         map[int][]int{0: {2}, 2: {3}},
+	}
+	res, err := Run(cfg, engine.WithOutput(io.Discard), engine.WithLatency(slowStable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CausalErr != nil {
+		t.Fatalf("committed trace violates causality: %v\n%s", res.CausalErr, res.Trace.Dump())
+	}
+	// Every committed round appears exactly once per worker.
+	events := res.Trace.Events()
+	if len(events) != 2*cfg.Workers*cfg.Rounds {
+		t.Fatalf("trace events = %d, want %d (one send + one recv per round per worker)",
+			len(events), 2*cfg.Workers*cfg.Rounds)
+	}
+}

@@ -1,0 +1,67 @@
+package rpc
+
+// Predictor supplies reply predictions for streamed calls, letting a
+// caller express a prediction *policy* instead of a per-call value. A
+// predictor's state must live inside one body invocation (create it at
+// the top of the body) so rollback replay rebuilds it — the same
+// discipline as Session itself.
+type Predictor interface {
+	// Predict returns the predicted reply for req.
+	Predict(server string, req any) any
+	// Observe is called with the settled result of each call (the
+	// prediction when accurate, the actual reply otherwise), letting the
+	// predictor learn.
+	Observe(server string, req, result any)
+}
+
+// LastReply predicts that a server answers what it answered last time —
+// the natural predictor for slowly-changing state (the line position of
+// Figure 2's printer, a cached configuration value). The zero value
+// predicts `initial` until the first observation.
+type LastReply struct {
+	initial any
+	last    map[string]any
+}
+
+// NewLastReply returns a LastReply predictor with the given first guess.
+func NewLastReply(initial any) *LastReply {
+	return &LastReply{initial: initial, last: make(map[string]any)}
+}
+
+// Predict implements Predictor.
+func (l *LastReply) Predict(server string, req any) any {
+	if v, ok := l.last[server]; ok {
+		return v
+	}
+	return l.initial
+}
+
+// Observe implements Predictor.
+func (l *LastReply) Observe(server string, req, result any) {
+	l.last[server] = result
+}
+
+// FuncPredictor adapts a pure function into a Predictor (no learning).
+type FuncPredictor func(server string, req any) any
+
+// Predict implements Predictor.
+func (f FuncPredictor) Predict(server string, req any) any { return f(server, req) }
+
+// Observe implements Predictor.
+func (FuncPredictor) Observe(string, any, any) {}
+
+// StreamCallP performs StreamCall with the session's predictor supplying
+// and learning from predictions. It returns the settled result value and
+// whether the prediction was accurate.
+func (s *Session) StreamCallP(pr Predictor, server string, req any) (any, bool, error) {
+	predicted := pr.Predict(server, req)
+	result, accurate, err := s.StreamCall(server, req, predicted)
+	if err != nil {
+		return nil, false, err
+	}
+	pr.Observe(server, req, result)
+	return result, accurate, nil
+}
+
+var _ Predictor = (*LastReply)(nil)
+var _ Predictor = FuncPredictor(nil)

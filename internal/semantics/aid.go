@@ -1,0 +1,101 @@
+package semantics
+
+import (
+	"hope/internal/ids"
+	"hope/internal/sets"
+)
+
+// Resolution is the lifecycle state of an assumption identifier.
+//
+// The paper leaves an AID's status implicit ("a guess(x) eventually either
+// results in the execution of an affirm(x) … or deny(x)", §3) and forbids
+// more than one affirm or deny per AID (§5.2). Making the status explicit
+// is required to define the primitives on an AID that has already been
+// resolved — e.g. an implicit guess performed when a message tagged with a
+// denied AID is delivered (§7 describes such orphan messages being handled
+// by the prototype's tagging protocol).
+type Resolution int
+
+const (
+	// Unresolved: the assumption has been guessed (or merely created) and
+	// neither affirmed nor denied.
+	Unresolved Resolution = iota + 1
+	// Affirmed: a definite affirm(X) has been applied (Equations 7–9).
+	Affirmed
+	// SpecAffirmed: a speculative interval executed affirm(X)
+	// (Equations 10–14). Dependence on X has been replaced by dependence
+	// on the affirming interval's IDO snapshot; the affirm becomes
+	// definite when the affirmer finalizes and becomes a deny if the
+	// affirmer rolls back (§5.6).
+	SpecAffirmed
+	// Denied: a definite deny(X) has been applied (Equation 15), either
+	// directly, via free_of (Equation 19), via finalization of a
+	// speculative deny (Equation 22), or by rollback of a speculative
+	// affirm (§5.6).
+	Denied
+)
+
+// String renders the resolution for traces.
+func (r Resolution) String() string {
+	switch r {
+	case Unresolved:
+		return "unresolved"
+	case Affirmed:
+		return "affirmed"
+	case SpecAffirmed:
+		return "spec-affirmed"
+	case Denied:
+		return "denied"
+	default:
+		return "invalid"
+	}
+}
+
+// aidState is the machine's record for one assumption identifier
+// (Definition 4.2 plus resolution bookkeeping).
+type aidState struct {
+	id   ids.AID
+	name string // program-level name, for traces
+
+	// dom is X.DOM — the set of intervals that depend on X
+	// (Definition 4.2). Lemma 5.1: A ∈ X.DOM ⟺ X ∈ A.IDO.
+	dom *sets.Set[ids.Interval]
+
+	status Resolution
+
+	// affirmer is the interval that executed a speculative affirm(X);
+	// set only while status == SpecAffirmed. If it rolls back, X becomes
+	// Denied (§5.6); if it finalizes, X's dependents have already drained
+	// through the Equation 12 replacement.
+	affirmer ids.Interval
+
+	// replacement is the affirmer's IDO at speculative-affirm time minus
+	// X itself — the set that Equation 12 substituted for X. Later
+	// guesses of X depend on this set transitively (Lemma 6.1).
+	replacement *sets.Set[ids.AID]
+
+	// systemDenied marks a denial synthesized by the §5.6 approximation
+	// (rollback of a speculative affirm). A user affirm re-executed on
+	// the pessimistic path after such a denial is stale, not the §5.2
+	// conflict error.
+	systemDenied bool
+
+	// claimed reports that some affirm/deny/free_of has been applied and
+	// not (yet) undone by rollback. A second application while claimed is
+	// the user error of §5.2.
+	claimed bool
+	// claimedBy is the interval whose speculative deny holds the claim
+	// (it releases if that interval rolls back). NoInterval when the
+	// claim is definite or held by a speculative affirm (tracked via
+	// affirmer).
+	claimedBy ids.Interval
+}
+
+func newAIDState(id ids.AID, name string) *aidState {
+	return &aidState{
+		id:     id,
+		name:   name,
+		dom:    sets.New[ids.Interval](),
+		status: Unresolved,
+	}
+}

@@ -1,0 +1,105 @@
+package semantics
+
+import (
+	"fmt"
+
+	"hope/internal/ids"
+)
+
+// EventKind discriminates trace events. The trace is the machine's
+// execution history in the sense of Definition 4.1, kept un-truncated
+// (rollback appends a Rollback event rather than erasing the record) so the
+// theorem checkers can reason about what happened.
+type EventKind int
+
+const (
+	// EvGuess: an explicit guess opened (or short-circuited on) an AID.
+	EvGuess EventKind = iota + 1
+	// EvImplicitGuess: a tagged message delivery opened an interval.
+	EvImplicitGuess
+	// EvAffirm: affirm(X) executed. Definite reports which case.
+	EvAffirm
+	// EvDeny: deny(X) executed. Definite reports which case.
+	EvDeny
+	// EvFreeOf: free_of(X) executed.
+	EvFreeOf
+	// EvFinalize: an interval became definite (Equations 20–23).
+	EvFinalize
+	// EvRollback: an interval was rolled back (Equation 24).
+	EvRollback
+	// EvSend: a message was sent.
+	EvSend
+	// EvRecv: a message was delivered.
+	EvRecv
+	// EvOrphanDrop: an orphaned message was discarded at delivery.
+	EvOrphanDrop
+	// EvHalt: a process halted.
+	EvHalt
+	// EvUserError: a primitive was misused (double resolution, §5.2).
+	EvUserError
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvGuess:
+		return "guess"
+	case EvImplicitGuess:
+		return "implicit-guess"
+	case EvAffirm:
+		return "affirm"
+	case EvDeny:
+		return "deny"
+	case EvFreeOf:
+		return "free_of"
+	case EvFinalize:
+		return "finalize"
+	case EvRollback:
+		return "rollback"
+	case EvSend:
+		return "send"
+	case EvRecv:
+		return "recv"
+	case EvOrphanDrop:
+		return "orphan-drop"
+	case EvHalt:
+		return "halt"
+	case EvUserError:
+		return "user-error"
+	default:
+		return "invalid"
+	}
+}
+
+// Event is one entry in the machine trace.
+type Event struct {
+	Seq      int
+	Proc     ids.Proc
+	Kind     EventKind
+	AID      ids.AID
+	Interval ids.Interval
+	Definite bool
+	Detail   string
+}
+
+// String renders the event compactly for debugging output.
+func (e Event) String() string {
+	s := fmt.Sprintf("#%d %s %s", e.Seq, e.Proc, e.Kind)
+	if e.AID.Valid() {
+		s += " " + e.AID.String()
+	}
+	if e.Interval.Valid() {
+		s += " " + e.Interval.String()
+	}
+	if e.Kind == EvAffirm || e.Kind == EvDeny {
+		if e.Definite {
+			s += " (definite)"
+		} else {
+			s += " (speculative)"
+		}
+	}
+	if e.Detail != "" {
+		s += " [" + e.Detail + "]"
+	}
+	return s
+}

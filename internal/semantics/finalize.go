@@ -1,0 +1,54 @@
+package semantics
+
+import (
+	"fmt"
+
+	"hope/internal/ids"
+)
+
+// finalize implements Section 5.5 (Equations 20–23): transform interval A
+// from speculative to definite. Precondition A.IDO = ∅ (Equation 20). The
+// interval leaves IS (Equation 21); pending speculative denies in A.IHD
+// become definite, rolling back their dependents (Equation 22); and if the
+// process's IS has emptied, its current interval becomes ∅ — the process
+// is definite again (Equation 23).
+//
+// Additionally, AIDs that A speculatively affirmed become definitively
+// affirmed: Lemma 6.1 proves the substitution already drained their
+// dependents, so only the recorded status needs updating (it governs
+// future guesses of those AIDs).
+func (m *Machine) finalize(iv *intervalState) {
+	if iv.status != Speculative {
+		return
+	}
+	if !iv.ido.Empty() {
+		panic(fmt.Sprintf("semantics: finalize(%v) with non-empty IDO %v violates Equation 20", iv.id, iv.ido))
+	}
+	iv.status = Finalized
+	p := m.procByID(iv.pid)
+	p.is.Remove(iv.id) // Equation 21
+	m.event(Event{Proc: p.id, Kind: EvFinalize, Interval: iv.id})
+
+	// Speculative affirms by A become definite (Lemma 6.1).
+	for _, x := range iv.specAffirmed.Elems() {
+		a := m.aids[x]
+		if a.status == SpecAffirmed && a.affirmer == iv.id {
+			a.status = Affirmed
+		}
+	}
+
+	// Equation 22: speculative denies become definite.
+	for _, x := range iv.ihd.Elems() {
+		a := m.aids[x]
+		a.status = Denied
+		a.claimedBy = ids.NoInterval
+		m.event(Event{Proc: p.id, Kind: EvDeny, AID: a.id, Interval: iv.id,
+			Definite: true, Detail: "IHD applied at finalize"})
+		m.rollbackDependents(a)
+	}
+
+	// Equation 23.
+	if p.is.Empty() {
+		p.cur = ids.NoInterval
+	}
+}

@@ -1,0 +1,125 @@
+package semantics
+
+// Fixture programs used by tests, the model checker and the CLI. They are
+// part of the package (not _test.go files) because internal/check and
+// cmd/hopecheck replay them.
+
+// Figure2Program builds the paper's Figure 2 — the Call Streaming
+// transformation of a print job — in the statement DSL. P1 is the Worker,
+// P2 the WorryWart, P3 the print server; PageSize is 50 and total is the
+// report total whose printed line number decides the PartPage assumption.
+//
+// The Worker optimistically assumes the page does not overflow (PartPage)
+// and that its summary print (S3) does not overtake the total print (S1)
+// at the print server (Order). The WorryWart performs S1, asserts
+// free_of(Order) — denying Order if the server processed S3 first, which
+// rolls the race back and forces the ordered pessimistic path — and then
+// affirms or denies PartPage based on the returned line number.
+//
+// Terminal state, every schedule: the server's lineno is total+1; the
+// Worker's newpage is 0 if total < 50 (PartPage affirmed) and 1 otherwise
+// (PartPage denied).
+func Figure2Program(total int) *Program {
+	worker := NewBuilder()
+	worker.Set("total", total)
+	worker.Send(2, "total")
+	worker.Guess("PartPage",
+		nil,                                      // S2 optimistic: no new page needed
+		func(b *Builder) { b.Add("newpage", 1) }) // call newpage()
+	worker.Set("summary", 1)
+	worker.Guess("Order",
+		// Optimistic: send S3 immediately, racing S1.
+		func(b *Builder) { b.Send(3, "summary") },
+		// Pessimistic (Order denied — S3 overtook S1): wait for the
+		// WorryWart's completion signal so S1 strictly precedes S3.
+		func(b *Builder) { b.Recv("ok").Send(3, "summary") })
+
+	worrywart := NewBuilder()
+	worrywart.Recv("t")
+	worrywart.Send(3, "t") // S1: print the total (RPC request)
+	worrywart.Recv("line") // RPC reply: line number after printing
+	worrywart.FreeOf("Order")
+	worrywart.Set("done", 1)
+	worrywart.Send(1, "done")
+	worrywart.IfLess("line", 50,
+		func(b *Builder) { b.Affirm("PartPage") },
+		func(b *Builder) { b.Deny("PartPage") })
+
+	printer := NewBuilder()
+	printer.Recv("j1")
+	printer.AddVar("lineno", "j1")
+	printer.Copy("reply", "lineno")
+	printer.Send(2, "reply")
+	printer.Recv("j2")
+	printer.AddVar("lineno", "j2")
+
+	return &Program{Procs: [][]Op{worker.Ops(), worrywart.Ops(), printer.Ops()}}
+}
+
+// OrderRaceProgram builds a minimal free_of ordering scenario, smaller
+// than Figure 2 so the checker can explore it exhaustively: two producers
+// race messages to a server; producer P1 asserts via free_of(Order) that
+// its request was not overtaken by P2's speculative one. If the server
+// consumed P2's tagged message first, P1's reply makes it dependent on
+// Order, free_of denies it, and P2's effects are rolled back before
+// re-submission.
+//
+// Terminal state, every schedule: the server's total is 3 (P1's 1 then
+// P2's 2 in some committed order), with Order either affirmed (no race)
+// or denied (race detected and corrected).
+func OrderRaceProgram() *Program {
+	p1 := NewBuilder()
+	p1.Set("a", 1)
+	p1.Send(3, "a") // request
+	p1.Recv("r")    // reply carries the server's speculation, if any
+	p1.FreeOf("Order")
+
+	p2 := NewBuilder()
+	p2.GuessFlat("Order")
+	p2.Set("b", 2)
+	p2.Send(3, "b")
+
+	srv := NewBuilder()
+	srv.Recv("x")
+	srv.AddVar("total", "x")
+	srv.Copy("reply", "total")
+	srv.Send(1, "reply")
+	srv.Recv("y")
+	srv.AddVar("total", "y")
+
+	return &Program{Procs: [][]Op{p1.Ops(), p2.Ops(), srv.Ops()}}
+}
+
+// ChainProgram builds an n-process speculative pipeline: P1 guesses X and
+// forwards a value through P2 … Pn-1; the last process resolves X
+// (affirming when affirm is true, denying otherwise). It exercises
+// transitive dependency tracking and cascaded rollback at configurable
+// depth.
+func ChainProgram(n int, affirm bool) *Program {
+	if n < 3 {
+		n = 3
+	}
+	procs := make([][]Op, 0, n)
+
+	head := NewBuilder()
+	head.Guess("X",
+		func(b *Builder) { b.Set("v", 100).Send(2, "v") },
+		func(b *Builder) { b.Set("v", 1).Send(2, "v") })
+	procs = append(procs, head.Ops())
+
+	for i := 2; i < n; i++ {
+		mid := NewBuilder()
+		mid.Recv("a").AddVar("a", "a").Send(i+1, "a") // forward 2a
+		procs = append(procs, mid.Ops())
+	}
+
+	tail := NewBuilder()
+	tail.Recv("b").Add("b", 1)
+	if affirm {
+		tail.Affirm("X")
+	} else {
+		tail.Deny("X")
+	}
+	procs = append(procs, tail.Ops())
+	return &Program{Procs: procs}
+}

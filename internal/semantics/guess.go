@@ -1,0 +1,74 @@
+package semantics
+
+import (
+	"fmt"
+
+	"hope/internal/sets"
+)
+
+// guess implements Section 5.1 (Equations 1–6).
+//
+// For an unresolved AID X the process checkpoints its state (Eq. 1–2),
+// opens a new interval A with A.IDO = (Si.I).IDO ∪ {X} (Eq. 3), records
+// A in X.DOM (Eq. 4), sets I/IS/G for the successor state (Eq. 5) and
+// continues (Eq. 6 appends the state to the history — here, the trace).
+//
+// The paper assumes guesses happen before the AID is resolved; the
+// already-resolved cases below are the natural closure required by the
+// implicit guesses of §7 (a guess of an affirmed AID is simply true, of a
+// denied AID simply false, and of a speculatively affirmed AID depends on
+// whatever the affirmer depended on — the Lemma 6.1 substitution).
+func (m *Machine) guess(p *procState, a *aidState) {
+	switch a.status {
+	case Affirmed:
+		p.g = true
+		p.pc++
+		m.event(Event{Proc: p.id, Kind: EvGuess, AID: a.id, Detail: "already affirmed"})
+		return
+	case Denied:
+		p.g = false
+		p.pc++
+		m.event(Event{Proc: p.id, Kind: EvGuess, AID: a.id, Detail: "already denied"})
+		return
+	}
+
+	// Unresolved or SpecAffirmed: compute the transitive dependency set.
+	deps, orphan := m.resolveDeps(sets.New(a.id))
+	if orphan {
+		// A speculative affirmer's chain reached a denied AID; the
+		// resolution machinery marks such AIDs Denied synchronously, so
+		// this is defensive — treat as a denied guess.
+		p.g = false
+		p.pc++
+		m.event(Event{Proc: p.id, Kind: EvGuess, AID: a.id, Detail: "transitively denied"})
+		return
+	}
+	if deps.Empty() {
+		// Every transitive dependency already definite: effectively true.
+		p.g = true
+		p.pc++
+		m.event(Event{Proc: p.id, Kind: EvGuess, AID: a.id, Detail: "transitively affirmed"})
+		return
+	}
+
+	ps := p.snapshot() // Equation 1 (pc still addresses the guess op)
+	iv := m.newInterval(p, ps, false, a.id)
+	m.dependOn(iv, deps) // Equations 3 and 4
+	iv.initIDO = iv.ido.Clone()
+	p.g = true // Equation 5: guess speculatively returns True
+	p.pc++
+	m.event(Event{Proc: p.id, Kind: EvGuess, AID: a.id, Interval: iv.id,
+		Detail: fmt.Sprintf("ido %s", iv.ido)})
+}
+
+// guessResumePC returns where a rolled-back process resumes for an
+// interval: after the guess with G = False for explicit intervals
+// ("execution re-starts from guess(x) with a return code of False", §3),
+// or at the receive itself for implicit intervals (the message delivery is
+// undone, so the receive re-executes).
+func guessResumePC(iv *intervalState) int {
+	if iv.implicit {
+		return iv.ps.pc
+	}
+	return iv.ps.pc + 1
+}

@@ -1,0 +1,190 @@
+package semantics
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hope/internal/ids"
+)
+
+// This file exposes read-only views of machine state for the model checker
+// and tests. Views are copies: mutating them cannot corrupt the machine.
+
+// IntervalInfo is a snapshot of one interval's control variables.
+type IntervalInfo struct {
+	ID           ids.Interval
+	Proc         ids.Proc
+	Seq          int
+	Status       IntervalStatus
+	IDO          []ids.AID
+	InitialIDO   []ids.AID
+	IHD          []ids.AID
+	SpecAffirmed []ids.AID
+	FreeOf       []ids.AID
+	Implicit     bool
+	GuessedAID   ids.AID
+}
+
+// AIDInfo is a snapshot of one assumption identifier's control variables.
+type AIDInfo struct {
+	ID          ids.AID
+	Name        string
+	Status      Resolution
+	DOM         []ids.Interval
+	Affirmer    ids.Interval
+	Replacement []ids.AID
+	Claimed     bool
+}
+
+// Intervals returns snapshots of every interval ever created, ordered by
+// identifier (creation order across the whole machine).
+func (m *Machine) Intervals() []IntervalInfo {
+	out := make([]IntervalInfo, 0, len(m.intervals))
+	for _, iv := range m.intervals {
+		out = append(out, IntervalInfo{
+			ID:           iv.id,
+			Proc:         iv.pid,
+			Seq:          iv.seq,
+			Status:       iv.status,
+			IDO:          iv.ido.Elems(),
+			InitialIDO:   iv.initIDO.Elems(),
+			IHD:          iv.ihd.Elems(),
+			SpecAffirmed: iv.specAffirmed.Elems(),
+			FreeOf:       iv.freeOf.Elems(),
+			Implicit:     iv.implicit,
+			GuessedAID:   iv.guessedAID,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AIDs returns snapshots of every assumption identifier ever created,
+// ordered by identifier.
+func (m *Machine) AIDs() []AIDInfo {
+	out := make([]AIDInfo, 0, len(m.aids))
+	for _, a := range m.aids {
+		out = append(out, AIDInfo{
+			ID:          a.id,
+			Name:        a.name,
+			Status:      a.status,
+			DOM:         a.dom.Elems(),
+			Affirmer:    a.affirmer,
+			Replacement: a.replacement.Elems(),
+			Claimed:     a.claimed,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AIDByName returns the snapshot for a named AID if it has been created.
+func (m *Machine) AIDByName(name string) (AIDInfo, bool) {
+	a, ok := m.aidsByName[name]
+	if !ok {
+		return AIDInfo{}, false
+	}
+	for _, info := range m.AIDs() {
+		if info.ID == a.id {
+			return info, true
+		}
+	}
+	return AIDInfo{}, false
+}
+
+// CurrentInterval returns process pi's current interval I (NoInterval when
+// the process is definite).
+func (m *Machine) CurrentInterval(pi int) ids.Interval { return m.procs[pi].cur }
+
+// SpecSet returns process pi's IS — the speculative intervals leading to
+// its current state.
+func (m *Machine) SpecSet(pi int) []ids.Interval { return m.procs[pi].is.Elems() }
+
+// G returns process pi's G control variable.
+func (m *Machine) G(pi int) bool { return m.procs[pi].g }
+
+// PC returns process pi's program counter.
+func (m *Machine) PC(pi int) int { return m.procs[pi].pc }
+
+// ProcID returns the identifier of process pi.
+func (m *Machine) ProcID(pi int) ids.Proc { return m.procs[pi].id }
+
+// Scheduler picks which runnable process steps next.
+type Scheduler interface {
+	// Pick chooses one element of runnable (a non-empty, ascending list
+	// of process indexes).
+	Pick(runnable []int) int
+}
+
+// RoundRobin cycles through processes in index order.
+type RoundRobin struct{ next int }
+
+// Pick implements Scheduler.
+func (r *RoundRobin) Pick(runnable []int) int {
+	for _, pi := range runnable {
+		if pi >= r.next {
+			r.next = pi + 1
+			return pi
+		}
+	}
+	r.next = runnable[0] + 1
+	return runnable[0]
+}
+
+// Random picks uniformly using a seeded generator, giving reproducible
+// pseudo-random interleavings.
+type Random struct{ Rng *rand.Rand }
+
+// NewRandom returns a Random scheduler with the given seed.
+func NewRandom(seed int64) *Random { return &Random{Rng: rand.New(rand.NewSource(seed))} }
+
+// Pick implements Scheduler.
+func (r *Random) Pick(runnable []int) int { return runnable[r.Rng.Intn(len(runnable))] }
+
+// RunResult describes how a Run ended.
+type RunResult int
+
+const (
+	// RunDone: all processes halted.
+	RunDone RunResult = iota + 1
+	// RunDeadlock: no process runnable, not all halted.
+	RunDeadlock
+	// RunMaxSteps: the step budget was exhausted (livelock guard).
+	RunMaxSteps
+)
+
+// String names the run result.
+func (r RunResult) String() string {
+	switch r {
+	case RunDone:
+		return "done"
+	case RunDeadlock:
+		return "deadlock"
+	case RunMaxSteps:
+		return "max-steps"
+	default:
+		return "invalid"
+	}
+}
+
+// Run drives the machine under sched until completion, deadlock, or
+// maxSteps. It returns the number of steps taken.
+func (m *Machine) Run(sched Scheduler, maxSteps int) (int, RunResult) {
+	steps := 0
+	for steps < maxSteps {
+		runnable := m.Runnable()
+		if len(runnable) == 0 {
+			if m.Done() {
+				return steps, RunDone
+			}
+			return steps, RunDeadlock
+		}
+		pi := sched.Pick(runnable)
+		if !m.Step(pi) {
+			panic(fmt.Sprintf("semantics: scheduler picked non-runnable process %d", pi))
+		}
+		steps++
+	}
+	return steps, RunMaxSteps
+}

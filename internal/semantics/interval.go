@@ -1,0 +1,86 @@
+package semantics
+
+import (
+	"hope/internal/ids"
+	"hope/internal/sets"
+)
+
+// IntervalStatus is the lifecycle state of an interval (Definition 4.4:
+// "An interval is said to be speculative if that interval is rolled back;
+// otherwise, the interval is said to be definite"). We track the three
+// operational phases: still speculative, made definite by finalize
+// (Equation 20–23), or discarded by rollback (Equation 24).
+type IntervalStatus int
+
+const (
+	// Speculative intervals may yet be finalized or rolled back.
+	Speculative IntervalStatus = iota + 1
+	// Finalized intervals are a permanent part of their process's
+	// history. Theorem 5.2: a finalized interval is never rolled back.
+	Finalized
+	// RolledBack intervals have been truncated from history.
+	RolledBack
+)
+
+// String renders the status for traces.
+func (s IntervalStatus) String() string {
+	switch s {
+	case Speculative:
+		return "speculative"
+	case Finalized:
+		return "finalized"
+	case RolledBack:
+		return "rolled-back"
+	default:
+		return "invalid"
+	}
+}
+
+// intervalState is the machine's record for one interval: the tuple of
+// control variables of Definition 4.4 (PS, IDO, IHD, PID) plus status
+// bookkeeping used by the theorem checkers.
+type intervalState struct {
+	id  ids.Interval
+	pid ids.Proc // A.PID (Equation 2)
+	seq int      // creation index within the process, for Theorem 5.1 checks
+
+	// ps is A.PS (Equation 1): the checkpoint of the process state taken
+	// when the interval began, restored by rollback (Equation 24).
+	ps *checkpoint
+
+	// ido is A.IDO — the assumption identifiers A depends on
+	// (Definition 4.4, Equation 3).
+	ido *sets.Set[ids.AID]
+
+	// initIDO is a snapshot of ido at interval creation, used by the
+	// Theorem 6.1/6.2 checkers to relate an interval's fate to the fate
+	// of the assumptions it originally depended on.
+	initIDO *sets.Set[ids.AID]
+
+	// ihd is A.IHD — assumption identifiers A has speculatively denied
+	// (Equation 16), applied as definite denies when A finalizes
+	// (Equation 22).
+	ihd *sets.Set[ids.AID]
+
+	// specAffirmed records AIDs this interval speculatively affirmed, so
+	// that rollback can convert them to denies (§5.6) and finalize can
+	// mark them definitively affirmed.
+	specAffirmed *sets.Set[ids.AID]
+
+	// freeOf records AIDs this interval asserted free_of, for the
+	// Theorem 6.3 checker.
+	freeOf *sets.Set[ids.AID]
+
+	// implicit marks intervals created by delivering a tagged message
+	// (§3, §7) rather than by an explicit guess. Rollback of an implicit
+	// interval re-executes the receive instead of returning False.
+	implicit bool
+
+	// guessedAID is the AID of the explicit guess that opened this
+	// interval (NoAID for implicit intervals).
+	guessedAID ids.AID
+
+	status IntervalStatus
+}
+
+func (iv *intervalState) speculative() bool { return iv.status == Speculative }

@@ -1,0 +1,346 @@
+// Package semantics is an executable encoding of the HOPE abstract machine
+// from Sections 4 and 5 of Cowan & Lutfiyya, "Formal Semantics for
+// Expressing Optimism: The Meaning of HOPE" (PODC 1995).
+//
+// A Machine interprets a Program — communicating sequential processes
+// written in a small statement DSL — one statement at a time, under an
+// external scheduler that picks which runnable process steps next. The
+// four HOPE primitives (guess, affirm, deny, free_of) and the two internal
+// operations they induce (finalize, rollback) are implemented as literal
+// transcriptions of Equations 1–24; each transition site cites its
+// equation. The machine keeps an un-truncated event trace so the model
+// checker in internal/check can verify Lemma 5.1 and Theorems 5.1–6.3
+// against every explored interleaving.
+//
+// The machine is single-threaded and deterministic: given the same program
+// and the same schedule (sequence of process choices), it produces the
+// same trace. All concurrency is modeled by schedule choice, which is what
+// makes exhaustive interleaving exploration possible.
+package semantics
+
+import (
+	"fmt"
+
+	"hope/internal/ids"
+	"hope/internal/sets"
+)
+
+// Machine is one instance of the abstract machine executing a Program.
+type Machine struct {
+	gen   ids.Gen
+	procs []*procState
+
+	aidsByName map[string]*aidState
+	aids       map[ids.AID]*aidState
+	intervals  map[ids.Interval]*intervalState
+
+	trace    []Event
+	sendSeq  int
+	userErrs []string
+}
+
+// New builds a machine for prog. The program must validate.
+func New(prog *Program) (*Machine, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid program: %w", err)
+	}
+	m := &Machine{
+		aidsByName: make(map[string]*aidState),
+		aids:       make(map[ids.AID]*aidState),
+		intervals:  make(map[ids.Interval]*intervalState),
+	}
+	for _, code := range prog.Procs {
+		p := newProcState(m.gen.NextProc(), code)
+		m.procs = append(m.procs, p)
+	}
+	return m, nil
+}
+
+// NumProcs returns the number of processes.
+func (m *Machine) NumProcs() int { return len(m.procs) }
+
+// Runnable returns the 0-based indexes of processes that can take a step.
+func (m *Machine) Runnable() []int {
+	var out []int
+	for i, p := range m.procs {
+		if p.runnable() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Done reports whether every process has halted.
+func (m *Machine) Done() bool {
+	for _, p := range m.procs {
+		if !p.halted {
+			return false
+		}
+	}
+	return true
+}
+
+// Deadlocked reports whether no process is runnable but not all have
+// halted (every non-halted process is blocked in receive).
+func (m *Machine) Deadlocked() bool {
+	return !m.Done() && len(m.Runnable()) == 0
+}
+
+// Trace returns the event trace recorded so far. The returned slice is
+// shared; callers must not mutate it.
+func (m *Machine) Trace() []Event { return m.trace }
+
+// UserErrors returns descriptions of detected primitive misuse (double
+// affirm/deny, §5.2). Execution continues past a user error with
+// first-application-wins behavior so generated programs don't wedge the
+// checker.
+func (m *Machine) UserErrors() []string { return m.userErrs }
+
+// Var returns the value of a data variable of process pi (0-based), or 0
+// if unset — Go zero-value semantics stand in for uninitialized state.
+func (m *Machine) Var(pi int, name string) int { return m.procs[pi].vars[name] }
+
+// Halted reports whether process pi has halted.
+func (m *Machine) Halted(pi int) bool { return m.procs[pi].halted }
+
+// event appends a trace event and returns it.
+func (m *Machine) event(e Event) {
+	e.Seq = len(m.trace)
+	m.trace = append(m.trace, e)
+}
+
+// aidNamed returns (creating on first use) the AID with the given program
+// name. Creation on first use models aid_init (§3).
+func (m *Machine) aidNamed(name string) *aidState {
+	if a, ok := m.aidsByName[name]; ok {
+		return a
+	}
+	a := newAIDState(m.gen.NextAID(), name)
+	m.aidsByName[name] = a
+	m.aids[a.id] = a
+	return a
+}
+
+// Step executes one statement of process pi. It is a no-op (returning
+// false) if the process is halted or blocked.
+func (m *Machine) Step(pi int) bool {
+	p := m.procs[pi]
+	if !p.runnable() {
+		return false
+	}
+	if p.pc >= len(p.code) {
+		m.halt(p)
+		return true
+	}
+	op := p.code[p.pc]
+	switch o := op.(type) {
+	case OpGuess:
+		m.guess(p, m.aidNamed(o.AID))
+	case OpAffirm:
+		// pc advances before the primitive runs: a deny/free_of can roll
+		// back the executing process itself, and the restored pc must
+		// not be clobbered afterwards.
+		p.pc++
+		m.affirm(p, m.aidNamed(o.AID))
+	case OpDeny:
+		p.pc++
+		m.deny(p, m.aidNamed(o.AID))
+	case OpFreeOf:
+		p.pc++
+		m.freeOf(p, m.aidNamed(o.AID))
+	case OpSend:
+		m.send(p, o)
+		p.pc++
+	case OpRecv:
+		m.recv(p, o)
+	case OpSet:
+		p.vars[o.Var] = o.Val
+		p.pc++
+	case OpAdd:
+		p.vars[o.Var] += o.Delta
+		p.pc++
+	case OpAddVar:
+		p.vars[o.Dst] += p.vars[o.Src]
+		p.pc++
+	case OpCopy:
+		p.vars[o.Dst] = p.vars[o.Src]
+		p.pc++
+	case OpLess:
+		p.g = p.vars[o.Var] < o.Val
+		p.pc++
+	case OpBranchFalse:
+		if !p.g {
+			p.pc = o.Target
+		} else {
+			p.pc++
+		}
+	case OpJump:
+		p.pc = o.Target
+	case OpHalt:
+		m.halt(p)
+	default:
+		// Unreachable given Validate; fail loudly in development.
+		panic(fmt.Sprintf("semantics: unknown op %T", op))
+	}
+	if !p.halted && p.pc >= len(p.code) {
+		m.halt(p)
+	}
+	return true
+}
+
+func (m *Machine) halt(p *procState) {
+	p.halted = true
+	m.event(Event{Proc: p.id, Kind: EvHalt})
+}
+
+// current returns the interval state for p's current interval, or nil if
+// the process is definite (I = ∅).
+func (m *Machine) current(p *procState) *intervalState {
+	if !p.cur.Valid() {
+		return nil
+	}
+	return m.intervals[p.cur]
+}
+
+// procByID maps a process identifier back to its state.
+func (m *Machine) procByID(id ids.Proc) *procState {
+	for _, p := range m.procs {
+		if p.id == id {
+			return p
+		}
+	}
+	panic(fmt.Sprintf("semantics: unknown process %v", id))
+}
+
+// resolveDeps expands a set of AIDs transitively through speculative
+// affirms: an Unresolved AID contributes itself; a SpecAffirmed AID
+// contributes its replacement set (the affirmer's dependencies that
+// Equation 12 substituted); an Affirmed AID contributes nothing; a Denied
+// AID makes the whole set an orphan. This is the status-aware form of the
+// dependence closure that Lemma 6.1 and Corollary 6.1 reason about.
+func (m *Machine) resolveDeps(tags *sets.Set[ids.AID]) (deps *sets.Set[ids.AID], orphan bool) {
+	deps = sets.New[ids.AID]()
+	var visit func(a *aidState) bool
+	seen := sets.New[ids.AID]()
+	visit = func(a *aidState) bool {
+		if !seen.Add(a.id) {
+			return true
+		}
+		switch a.status {
+		case Unresolved:
+			deps.Add(a.id)
+		case Affirmed:
+			// definitively true: no dependency
+		case Denied:
+			return false
+		case SpecAffirmed:
+			for _, y := range a.replacement.Elems() {
+				if !visit(m.aids[y]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, x := range tags.Elems() {
+		if !visit(m.aids[x]) {
+			return nil, true
+		}
+	}
+	return deps, false
+}
+
+// dependOn makes interval iv depend on every AID in deps, maintaining the
+// Lemma 5.1 symmetry: X ∈ A.IDO ⟺ A ∈ X.DOM (Equations 3 and 4).
+func (m *Machine) dependOn(iv *intervalState, deps *sets.Set[ids.AID]) {
+	for _, x := range deps.Elems() {
+		if iv.ido.Add(x) {
+			m.aids[x].dom.Add(iv.id)
+		}
+	}
+}
+
+// newInterval opens a new interval for p with checkpoint ps, inheriting
+// the current interval's dependencies (Equation 3's "(Si.I).IDO ∪ {X}"
+// — the union with the guessed AID is applied by the caller).
+func (m *Machine) newInterval(p *procState, ps *checkpoint, implicit bool, guessed ids.AID) *intervalState {
+	iv := &intervalState{
+		id:           m.gen.NextInterval(),
+		pid:          p.id, // Equation 2
+		seq:          len(p.intervals),
+		ps:           ps, // Equation 1
+		ido:          sets.New[ids.AID](),
+		ihd:          sets.New[ids.AID](),
+		specAffirmed: sets.New[ids.AID](),
+		freeOf:       sets.New[ids.AID](),
+		implicit:     implicit,
+		guessedAID:   guessed,
+		status:       Speculative,
+	}
+	m.intervals[iv.id] = iv
+	p.intervals = append(p.intervals, iv.id)
+	// Inherit the enclosing speculation (Equation 3).
+	if cur := m.current(p); cur != nil {
+		m.dependOn(iv, cur.ido)
+	}
+	// Equation 5: Si+1.I ← A; Si+1.IS ← Si+1.IS ∪ {A}.
+	p.cur = iv.id
+	p.is.Add(iv.id)
+	return iv
+}
+
+// send implements tagged message transmission (§3). The tag is the
+// sender's current dependency set at send time.
+func (m *Machine) send(p *procState, o OpSend) {
+	tags := sets.New[ids.AID]()
+	if cur := m.current(p); cur != nil {
+		tags.AddAll(cur.ido)
+	}
+	m.sendSeq++
+	msg := &message{
+		seq:   m.sendSeq,
+		from:  p.id,
+		value: p.vars[o.Var],
+		tags:  tags,
+	}
+	dst := m.procs[o.To-1]
+	dst.mailbox = append(dst.mailbox, msg)
+	m.event(Event{Proc: p.id, Kind: EvSend, Interval: p.cur,
+		Detail: fmt.Sprintf("to %s value %d tags %s", dst.id, msg.value, tags)})
+}
+
+// recv implements tagged message delivery (§3, §7): pop the first
+// non-orphaned message, implicitly guess its tag set (one interval for the
+// whole tag — semantically a chain of guesses collapsed into one
+// checkpoint, since they share the same rollback point), then deliver the
+// value. If only orphans are queued they are dropped and the process
+// remains blocked at the receive.
+func (m *Machine) recv(p *procState, o OpRecv) {
+	for len(p.mailbox) > 0 {
+		msg := p.mailbox[0]
+		p.mailbox = p.mailbox[1:]
+		deps, orphan := m.resolveDeps(msg.tags)
+		if orphan {
+			m.event(Event{Proc: p.id, Kind: EvOrphanDrop,
+				Detail: fmt.Sprintf("from %s tags %s", msg.from, msg.tags)})
+			continue
+		}
+		// Checkpoint before delivery: rollback of the implicit interval
+		// re-executes the receive with the message gone.
+		ps := p.snapshot()
+		if !deps.Empty() {
+			iv := m.newInterval(p, ps, true, ids.NoAID)
+			m.dependOn(iv, deps)
+			iv.initIDO = iv.ido.Clone()
+			m.event(Event{Proc: p.id, Kind: EvImplicitGuess, Interval: iv.id,
+				Detail: fmt.Sprintf("deps %s", deps)})
+		}
+		p.consumed = append(p.consumed, consumption{msg: msg})
+		p.vars[o.Var] = msg.value
+		p.pc++
+		m.event(Event{Proc: p.id, Kind: EvRecv, Interval: p.cur,
+			Detail: fmt.Sprintf("from %s value %d", msg.from, msg.value)})
+		return
+	}
+	// Nothing deliverable: stay blocked at this pc.
+}

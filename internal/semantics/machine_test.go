@@ -1,0 +1,759 @@
+package semantics
+
+import (
+	"testing"
+
+	"hope/internal/ids"
+)
+
+// run executes prog under every one of a fixed battery of schedulers and
+// calls verify on each finished machine. Programs used with this helper
+// must converge to the same observable outcome under every interleaving
+// (that is the whole point of HOPE).
+func run(t *testing.T, prog *Program, verify func(t *testing.T, m *Machine, res RunResult)) {
+	t.Helper()
+	scheds := map[string]func() Scheduler{
+		"round-robin": func() Scheduler { return &RoundRobin{} },
+		"seed-1":      func() Scheduler { return NewRandom(1) },
+		"seed-2":      func() Scheduler { return NewRandom(2) },
+		"seed-3":      func() Scheduler { return NewRandom(3) },
+		"seed-42":     func() Scheduler { return NewRandom(42) },
+		"seed-99":     func() Scheduler { return NewRandom(99) },
+	}
+	for name, mk := range scheds {
+		t.Run(name, func(t *testing.T) {
+			m, err := New(prog)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			_, res := m.Run(mk(), 10_000)
+			if res == RunMaxSteps {
+				t.Fatalf("livelock: machine did not settle")
+			}
+			if errs := m.UserErrors(); len(errs) != 0 {
+				t.Fatalf("user errors: %v", errs)
+			}
+			verify(t, m, res)
+		})
+	}
+}
+
+func aid(t *testing.T, m *Machine, name string) AIDInfo {
+	t.Helper()
+	info, ok := m.AIDByName(name)
+	if !ok {
+		t.Fatalf("AID %q never created", name)
+	}
+	return info
+}
+
+func wantVar(t *testing.T, m *Machine, pi int, name string, want int) {
+	t.Helper()
+	if got := m.Var(pi, name); got != want {
+		t.Errorf("P%d %s = %d, want %d", pi+1, name, got, want)
+	}
+}
+
+// --- basic guess / affirm / deny -------------------------------------------
+
+func TestGuessAffirmDefinite(t *testing.T) {
+	w := NewBuilder()
+	w.Guess("X",
+		func(b *Builder) { b.Set("a", 1) },
+		func(b *Builder) { b.Set("a", 2) })
+	v := NewBuilder().Affirm("X")
+	prog := &Program{Procs: [][]Op{w.Ops(), v.Ops()}}
+
+	run(t, prog, func(t *testing.T, m *Machine, res RunResult) {
+		if res != RunDone {
+			t.Fatalf("run ended %v, want done", res)
+		}
+		wantVar(t, m, 0, "a", 1)
+		if got := aid(t, m, "X").Status; got != Affirmed {
+			t.Errorf("X status = %v, want affirmed", got)
+		}
+		for _, iv := range m.Intervals() {
+			if iv.Status == Speculative {
+				t.Errorf("interval %v still speculative at termination", iv.ID)
+			}
+		}
+	})
+}
+
+func TestGuessDenyRollsBackToPessimisticBranch(t *testing.T) {
+	w := NewBuilder()
+	w.Guess("X",
+		func(b *Builder) { b.Set("a", 1) },
+		func(b *Builder) { b.Set("a", 2) })
+	v := NewBuilder().Deny("X")
+	prog := &Program{Procs: [][]Op{w.Ops(), v.Ops()}}
+
+	run(t, prog, func(t *testing.T, m *Machine, res RunResult) {
+		if res != RunDone {
+			t.Fatalf("run ended %v, want done", res)
+		}
+		wantVar(t, m, 0, "a", 2)
+		if got := aid(t, m, "X").Status; got != Denied {
+			t.Errorf("X status = %v, want denied", got)
+		}
+	})
+}
+
+func TestRollbackRestoresDataState(t *testing.T) {
+	// The optimistic branch overwrites several variables; rollback must
+	// restore every one to its checkpoint value.
+	w := NewBuilder()
+	w.Set("a", 10).Set("b", 20)
+	w.Guess("X",
+		func(b *Builder) { b.Set("a", 99).Add("b", 5).Set("c", 7) },
+		func(b *Builder) { b.Add("a", 1) })
+	v := NewBuilder().Deny("X")
+	prog := &Program{Procs: [][]Op{w.Ops(), v.Ops()}}
+
+	run(t, prog, func(t *testing.T, m *Machine, res RunResult) {
+		wantVar(t, m, 0, "a", 11)
+		wantVar(t, m, 0, "b", 20)
+		wantVar(t, m, 0, "c", 0)
+	})
+}
+
+func TestSelfAffirm(t *testing.T) {
+	// §5.2 "self affirm": the guessing interval itself affirms its only
+	// assumption, collapsing to a definite affirm.
+	w := NewBuilder()
+	w.Guess("X",
+		func(b *Builder) { b.Set("a", 1).Affirm("X").Set("done", 1) },
+		func(b *Builder) { b.Set("a", 2) })
+	prog := &Program{Procs: [][]Op{w.Ops()}}
+
+	run(t, prog, func(t *testing.T, m *Machine, res RunResult) {
+		if res != RunDone {
+			t.Fatalf("run ended %v, want done", res)
+		}
+		wantVar(t, m, 0, "a", 1)
+		wantVar(t, m, 0, "done", 1)
+		if got := aid(t, m, "X").Status; got != Affirmed {
+			t.Errorf("X status = %v, want affirmed", got)
+		}
+		ivs := m.Intervals()
+		if len(ivs) != 1 || ivs[0].Status != Finalized {
+			t.Errorf("intervals = %+v, want one finalized", ivs)
+		}
+	})
+}
+
+func TestSelfDenyIsDefinite(t *testing.T) {
+	// §5.3: deny(X) with X ∈ A.IDO is definite and rolls A back
+	// immediately.
+	w := NewBuilder()
+	w.Guess("X",
+		func(b *Builder) { b.Set("a", 1).Deny("X").Set("unreachable", 1) },
+		func(b *Builder) { b.Set("a", 2) })
+	prog := &Program{Procs: [][]Op{w.Ops()}}
+
+	run(t, prog, func(t *testing.T, m *Machine, res RunResult) {
+		wantVar(t, m, 0, "a", 2)
+		wantVar(t, m, 0, "unreachable", 0)
+		if got := aid(t, m, "X").Status; got != Denied {
+			t.Errorf("X status = %v, want denied", got)
+		}
+	})
+}
+
+func TestGuessOfResolvedAIDs(t *testing.T) {
+	// P2 resolves both AIDs before P1 ever guesses (forced by P1 waiting
+	// for a message): the guesses short-circuit without intervals.
+	p1 := NewBuilder()
+	p1.Recv("go")
+	p1.Guess("Yes", func(b *Builder) { b.Set("y", 1) }, func(b *Builder) { b.Set("y", 2) })
+	p1.Guess("No", func(b *Builder) { b.Set("n", 1) }, func(b *Builder) { b.Set("n", 2) })
+	p2 := NewBuilder().Affirm("Yes").Deny("No").Set("k", 1).Send(1, "k")
+	prog := &Program{Procs: [][]Op{p1.Ops(), p2.Ops()}}
+
+	run(t, prog, func(t *testing.T, m *Machine, res RunResult) {
+		if res != RunDone {
+			t.Fatalf("run ended %v, want done", res)
+		}
+		wantVar(t, m, 0, "y", 1)
+		wantVar(t, m, 0, "n", 2)
+		// Neither guess should have opened an interval (the implicit
+		// guess from the untagged message doesn't either).
+		if got := len(m.Intervals()); got != 0 {
+			t.Errorf("intervals created = %d, want 0", got)
+		}
+	})
+}
+
+// --- nesting and transitivity ----------------------------------------------
+
+func TestNestedGuessInheritsDependencies(t *testing.T) {
+	// Equation 3: a nested interval depends on the enclosing one's AIDs.
+	w := NewBuilder()
+	w.Guess("X",
+		func(b *Builder) {
+			b.Guess("Y",
+				func(b *Builder) { b.Set("a", 1) },
+				func(b *Builder) { b.Set("a", 2) })
+		},
+		func(b *Builder) { b.Set("a", 3) })
+	w.Set("end", 1)
+	v := NewBuilder().Affirm("Y").Deny("X")
+	prog := &Program{Procs: [][]Op{w.Ops(), v.Ops()}}
+
+	run(t, prog, func(t *testing.T, m *Machine, res RunResult) {
+		// X denied ⇒ outer rollback ⇒ a=3 regardless of Y.
+		wantVar(t, m, 0, "a", 3)
+		wantVar(t, m, 0, "end", 1)
+	})
+}
+
+func TestInnerDenyOuterAffirm(t *testing.T) {
+	w := NewBuilder()
+	w.Guess("X",
+		func(b *Builder) {
+			b.Set("outer", 1)
+			b.Guess("Y",
+				func(b *Builder) { b.Set("a", 1) },
+				func(b *Builder) { b.Set("a", 2) })
+		},
+		func(b *Builder) { b.Set("outer", 2) })
+	v := NewBuilder().Deny("Y").Affirm("X")
+	prog := &Program{Procs: [][]Op{w.Ops(), v.Ops()}}
+
+	run(t, prog, func(t *testing.T, m *Machine, res RunResult) {
+		if res != RunDone {
+			t.Fatalf("run ended %v, want done", res)
+		}
+		wantVar(t, m, 0, "outer", 1)
+		wantVar(t, m, 0, "a", 2)
+	})
+}
+
+func TestSpeculativeAffirmChain(t *testing.T) {
+	// Lemma 6.1 / Corollary 6.1: P2 affirms X while dependent on Y, so
+	// X's fate follows Y's.
+	p1 := NewBuilder()
+	p1.Guess("X",
+		func(b *Builder) { b.Set("a", 1) },
+		func(b *Builder) { b.Set("a", 2) })
+	p2 := NewBuilder()
+	p2.Guess("Y",
+		func(b *Builder) { b.Affirm("X").Set("spec", 1) },
+		func(b *Builder) { b.Deny("X") })
+	p3 := NewBuilder().Affirm("Y")
+	prog := &Program{Procs: [][]Op{p1.Ops(), p2.Ops(), p3.Ops()}}
+
+	run(t, prog, func(t *testing.T, m *Machine, res RunResult) {
+		if res != RunDone {
+			t.Fatalf("run ended %v, want done", res)
+		}
+		wantVar(t, m, 0, "a", 1)
+		wantVar(t, m, 1, "spec", 1)
+		if got := aid(t, m, "X").Status; got != Affirmed {
+			t.Errorf("X = %v, want affirmed (via definite Y)", got)
+		}
+		for _, iv := range m.Intervals() {
+			if iv.Status == Speculative {
+				t.Errorf("interval %v still speculative", iv.ID)
+			}
+		}
+	})
+}
+
+func TestSpeculativeAffirmDeniedByRollback(t *testing.T) {
+	// §5.6: rollback of a speculative affirm(X) is equivalent to
+	// deny(X); P1's optimistic branch must be rolled back with it.
+	p1 := NewBuilder()
+	p1.Guess("X",
+		func(b *Builder) { b.Set("a", 1) },
+		func(b *Builder) { b.Set("a", 2) })
+	p2 := NewBuilder()
+	p2.Guess("Y",
+		func(b *Builder) { b.Affirm("X") },
+		func(b *Builder) { b.Deny("X") })
+	p3 := NewBuilder().Deny("Y")
+	prog := &Program{Procs: [][]Op{p1.Ops(), p2.Ops(), p3.Ops()}}
+
+	run(t, prog, func(t *testing.T, m *Machine, res RunResult) {
+		if res != RunDone {
+			t.Fatalf("run ended %v, want done", res)
+		}
+		wantVar(t, m, 0, "a", 2)
+		if got := aid(t, m, "X").Status; got != Denied {
+			t.Errorf("X = %v, want denied", got)
+		}
+		if got := aid(t, m, "Y").Status; got != Denied {
+			t.Errorf("Y = %v, want denied", got)
+		}
+	})
+}
+
+func TestSpeculativeDenyAppliedAtFinalize(t *testing.T) {
+	// Equation 22: P2's deny(X) inside guess(Y) takes effect when Y is
+	// affirmed and P2's interval finalizes.
+	p1 := NewBuilder()
+	p1.Guess("X",
+		func(b *Builder) { b.Set("a", 1) },
+		func(b *Builder) { b.Set("a", 2) })
+	p2 := NewBuilder()
+	p2.Guess("Y",
+		func(b *Builder) { b.Deny("X") },
+		func(b *Builder) { b.Affirm("X") })
+	p3 := NewBuilder().Affirm("Y")
+	prog := &Program{Procs: [][]Op{p1.Ops(), p2.Ops(), p3.Ops()}}
+
+	run(t, prog, func(t *testing.T, m *Machine, res RunResult) {
+		if res != RunDone {
+			t.Fatalf("run ended %v, want done", res)
+		}
+		wantVar(t, m, 0, "a", 2)
+		if got := aid(t, m, "X").Status; got != Denied {
+			t.Errorf("X = %v, want denied", got)
+		}
+	})
+}
+
+func TestSpeculativeDenyDiesWithRollback(t *testing.T) {
+	// §5.6: a speculative deny that is rolled back is never applied;
+	// the pessimistic path then affirms X instead.
+	p1 := NewBuilder()
+	p1.Guess("X",
+		func(b *Builder) { b.Set("a", 1) },
+		func(b *Builder) { b.Set("a", 2) })
+	p2 := NewBuilder()
+	p2.Guess("Y",
+		func(b *Builder) { b.Deny("X") },
+		func(b *Builder) { b.Affirm("X") })
+	p3 := NewBuilder().Deny("Y")
+	prog := &Program{Procs: [][]Op{p1.Ops(), p2.Ops(), p3.Ops()}}
+
+	run(t, prog, func(t *testing.T, m *Machine, res RunResult) {
+		if res != RunDone {
+			t.Fatalf("run ended %v, want done", res)
+		}
+		wantVar(t, m, 0, "a", 1)
+		if got := aid(t, m, "X").Status; got != Affirmed {
+			t.Errorf("X = %v, want affirmed", got)
+		}
+	})
+}
+
+// --- messages, tagging, cascades -------------------------------------------
+
+func TestMessageCascadeRollback(t *testing.T) {
+	// §3: "If pi is forced to rollback, then pj must also rollback".
+	// P1 speculatively sends; P2's computation on the message must be
+	// undone when X is denied; P1 re-sends down the pessimistic path so
+	// P2 converges either way.
+	p1 := NewBuilder()
+	p1.Guess("X",
+		func(b *Builder) { b.Set("v", 10).Send(2, "v") },
+		func(b *Builder) { b.Set("v", 5).Send(2, "v") })
+	p2 := NewBuilder().Recv("u").AddVar("sum", "u")
+	p3 := NewBuilder().Deny("X")
+	prog := &Program{Procs: [][]Op{p1.Ops(), p2.Ops(), p3.Ops()}}
+
+	run(t, prog, func(t *testing.T, m *Machine, res RunResult) {
+		if res != RunDone {
+			t.Fatalf("run ended %v, want done", res)
+		}
+		wantVar(t, m, 1, "sum", 5)
+		wantVar(t, m, 1, "u", 5)
+	})
+}
+
+func TestMessageCascadeAffirm(t *testing.T) {
+	p1 := NewBuilder()
+	p1.Guess("X",
+		func(b *Builder) { b.Set("v", 10).Send(2, "v") },
+		func(b *Builder) { b.Set("v", 5).Send(2, "v") })
+	p2 := NewBuilder().Recv("u").AddVar("sum", "u")
+	p3 := NewBuilder().Affirm("X")
+	prog := &Program{Procs: [][]Op{p1.Ops(), p2.Ops(), p3.Ops()}}
+
+	run(t, prog, func(t *testing.T, m *Machine, res RunResult) {
+		if res != RunDone {
+			t.Fatalf("run ended %v, want done", res)
+		}
+		wantVar(t, m, 1, "sum", 10)
+		for _, iv := range m.Intervals() {
+			if iv.Status == Speculative {
+				t.Errorf("interval %v still speculative", iv.ID)
+			}
+		}
+	})
+}
+
+func TestTransitiveCascadeThreeProcesses(t *testing.T) {
+	// Speculation propagates P1 → P2 → P3; denying X must roll back all
+	// three and the pessimistic values must flow through.
+	p1 := NewBuilder()
+	p1.Guess("X",
+		func(b *Builder) { b.Set("v", 100).Send(2, "v") },
+		func(b *Builder) { b.Set("v", 1).Send(2, "v") })
+	p2 := NewBuilder().Recv("a").AddVar("a", "a").Send(3, "a") // forwards 2a
+	p3 := NewBuilder().Recv("b").Add("b", 1)                   // b = 2a+1
+	p4 := NewBuilder().Deny("X")
+	prog := &Program{Procs: [][]Op{p1.Ops(), p2.Ops(), p3.Ops(), p4.Ops()}}
+
+	run(t, prog, func(t *testing.T, m *Machine, res RunResult) {
+		if res != RunDone {
+			t.Fatalf("run ended %v, want done", res)
+		}
+		wantVar(t, m, 2, "b", 3) // 2*1 + 1
+	})
+}
+
+func TestValidMessageRedeliveredAfterUnrelatedRollback(t *testing.T) {
+	// P2 consumes a definite message from P3, then speculates on X and
+	// is rolled back; the consumed message must not be lost — but it was
+	// consumed BEFORE the guess, so rollback must leave it alone. The
+	// message consumed AFTER the guess point must be re-delivered.
+	p2 := NewBuilder()
+	p2.Recv("before") // definite message
+	p2.Guess("X",
+		func(b *Builder) { b.Recv("inside").Copy("got", "inside") },
+		func(b *Builder) { b.Recv("inside2").Copy("got", "inside2") })
+	p3 := NewBuilder().Set("m1", 7).Send(1, "m1").Set("m2", 9).Send(1, "m2")
+	p4 := NewBuilder().Deny("X")
+	prog := &Program{Procs: [][]Op{p2.Ops(), p3.Ops(), p4.Ops()}}
+
+	run(t, prog, func(t *testing.T, m *Machine, res RunResult) {
+		if res != RunDone {
+			t.Fatalf("run ended %v, want done", res)
+		}
+		wantVar(t, m, 0, "before", 7)
+		wantVar(t, m, 0, "got", 9)
+	})
+}
+
+// --- the paper's Figure 2 ---------------------------------------------------
+
+// figure2 is the fixture from fixtures.go; the tests below pin down its
+// convergent outcomes under many schedules.
+func figure2(total int) *Program { return Figure2Program(total) }
+
+func TestFigure2PartialPage(t *testing.T) {
+	// total=30 < PageSize: the optimistic assumption holds. Every
+	// schedule must converge to lineno = 31 with no new page.
+	run(t, figure2(30), func(t *testing.T, m *Machine, res RunResult) {
+		if res != RunDone {
+			t.Fatalf("run ended %v, want done; trace:\n%s", res, dumpTrace(m))
+		}
+		wantVar(t, m, 2, "lineno", 31)
+		wantVar(t, m, 0, "newpage", 0)
+		if got := aid(t, m, "PartPage").Status; got != Affirmed {
+			t.Errorf("PartPage = %v, want affirmed", got)
+		}
+	})
+}
+
+func TestFigure2FullPage(t *testing.T) {
+	// total=60 ≥ PageSize: PartPage is denied, the Worker rolls back and
+	// calls newpage. lineno = 61 and newpage = 1 in every schedule.
+	run(t, figure2(60), func(t *testing.T, m *Machine, res RunResult) {
+		if res != RunDone {
+			t.Fatalf("run ended %v, want done; trace:\n%s", res, dumpTrace(m))
+		}
+		wantVar(t, m, 2, "lineno", 61)
+		wantVar(t, m, 0, "newpage", 1)
+		if got := aid(t, m, "PartPage").Status; got != Denied {
+			t.Errorf("PartPage = %v, want denied", got)
+		}
+	})
+}
+
+func dumpTrace(m *Machine) string {
+	s := ""
+	for _, e := range m.Trace() {
+		s += e.String() + "\n"
+	}
+	return s
+}
+
+// --- free_of ----------------------------------------------------------------
+
+func TestFreeOfDefiniteAffirm(t *testing.T) {
+	// Equation 17: free_of by a definite process is a definite affirm.
+	p1 := NewBuilder()
+	p1.Guess("X",
+		func(b *Builder) { b.Set("a", 1) },
+		func(b *Builder) { b.Set("a", 2) })
+	p2 := NewBuilder().FreeOf("X")
+	prog := &Program{Procs: [][]Op{p1.Ops(), p2.Ops()}}
+
+	run(t, prog, func(t *testing.T, m *Machine, res RunResult) {
+		wantVar(t, m, 0, "a", 1)
+		if got := aid(t, m, "X").Status; got != Affirmed {
+			t.Errorf("X = %v, want affirmed", got)
+		}
+	})
+}
+
+func TestFreeOfViolationDenies(t *testing.T) {
+	// Equation 19 / Theorem 6.3: an interval asserting free_of(X) while
+	// dependent on X is rolled back, and X is denied.
+	p1 := NewBuilder()
+	p1.Guess("X",
+		func(b *Builder) { b.Set("a", 1).FreeOf("X").Set("after", 1) },
+		func(b *Builder) { b.Set("a", 2) })
+	prog := &Program{Procs: [][]Op{p1.Ops()}}
+
+	run(t, prog, func(t *testing.T, m *Machine, res RunResult) {
+		if res != RunDone {
+			t.Fatalf("run ended %v, want done", res)
+		}
+		wantVar(t, m, 0, "a", 2)
+		wantVar(t, m, 0, "after", 0)
+		if got := aid(t, m, "X").Status; got != Denied {
+			t.Errorf("X = %v, want denied", got)
+		}
+	})
+}
+
+func TestFreeOfSpeculativeAffirm(t *testing.T) {
+	// Equation 18: free_of(X) inside an interval not dependent on X is a
+	// speculative affirm of X, tied to the asserting interval's fate.
+	p1 := NewBuilder()
+	p1.Guess("X",
+		func(b *Builder) { b.Set("a", 1) },
+		func(b *Builder) { b.Set("a", 2) })
+	p2 := NewBuilder()
+	p2.Guess("Y",
+		func(b *Builder) { b.FreeOf("X") },
+		func(b *Builder) { b.Deny("X") })
+	p3 := NewBuilder().Deny("Y")
+	prog := &Program{Procs: [][]Op{p1.Ops(), p2.Ops(), p3.Ops()}}
+
+	run(t, prog, func(t *testing.T, m *Machine, res RunResult) {
+		if res != RunDone {
+			t.Fatalf("run ended %v, want done", res)
+		}
+		// Y denied ⇒ P2's free_of-affirm is undone ⇒ deny(X) ⇒ a = 2.
+		wantVar(t, m, 0, "a", 2)
+		if got := aid(t, m, "X").Status; got != Denied {
+			t.Errorf("X = %v, want denied", got)
+		}
+	})
+}
+
+// --- misuse detection --------------------------------------------------------
+
+func TestConflictingResolutionDetected(t *testing.T) {
+	p1 := NewBuilder().Affirm("X").Deny("X")
+	prog := &Program{Procs: [][]Op{p1.Ops()}}
+	m, err := New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, res := m.Run(&RoundRobin{}, 100); res != RunDone {
+		t.Fatalf("run ended %v", res)
+	}
+	if got := len(m.UserErrors()); got != 1 {
+		t.Fatalf("user errors = %v, want exactly one", m.UserErrors())
+	}
+	if got, _ := m.AIDByName("X"); got.Status != Affirmed {
+		t.Errorf("X = %v, want affirmed (first resolution wins)", got.Status)
+	}
+}
+
+func TestRedundantSameKindResolutionAllowed(t *testing.T) {
+	p1 := NewBuilder().Affirm("X").Affirm("X").Deny("Y").Deny("Y")
+	prog := &Program{Procs: [][]Op{p1.Ops()}}
+	m, err := New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(&RoundRobin{}, 100)
+	if errs := m.UserErrors(); len(errs) != 0 {
+		t.Fatalf("redundant resolutions flagged as errors: %v", errs)
+	}
+}
+
+// --- structural invariants ---------------------------------------------------
+
+func TestLemma51SymmetryDuringExecution(t *testing.T) {
+	// Check X ∈ A.IDO ⟺ A ∈ X.DOM after every single step of a
+	// workload that exercises every primitive.
+	prog := figure2(60)
+	m, err := New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewRandom(7)
+	for steps := 0; steps < 10_000; steps++ {
+		runnable := m.Runnable()
+		if len(runnable) == 0 {
+			break
+		}
+		m.Step(sched.Pick(runnable))
+		assertSymmetry(t, m)
+	}
+}
+
+func assertSymmetry(t *testing.T, m *Machine) {
+	t.Helper()
+	aids := make(map[ids.AID]AIDInfo)
+	for _, a := range m.AIDs() {
+		aids[a.ID] = a
+	}
+	ivs := make(map[ids.Interval]IntervalInfo)
+	for _, iv := range m.Intervals() {
+		ivs[iv.ID] = iv
+	}
+	for _, iv := range ivs {
+		if iv.Status != Speculative {
+			continue
+		}
+		for _, x := range iv.IDO {
+			found := false
+			for _, b := range aids[x].DOM {
+				if b == iv.ID {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("Lemma 5.1 violated: %v ∈ %v.IDO but %v ∉ %v.DOM", x, iv.ID, iv.ID, x)
+			}
+		}
+	}
+	for _, a := range aids {
+		for _, b := range a.DOM {
+			iv, ok := ivs[b]
+			if !ok {
+				t.Fatalf("AID %v.DOM references unknown interval %v", a.ID, b)
+			}
+			has := false
+			for _, x := range iv.IDO {
+				if x == a.ID {
+					has = true
+				}
+			}
+			if !has {
+				t.Fatalf("Lemma 5.1 violated: %v ∈ %v.DOM but %v ∉ %v.IDO", b, a.ID, a.ID, b)
+			}
+		}
+	}
+}
+
+func TestTheorem52FinalizedNeverRolledBack(t *testing.T) {
+	// Track status transitions across a rollback-heavy workload: once an
+	// interval is reported Finalized it must never become RolledBack.
+	prog := figure2(60)
+	m, err := New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalized := map[ids.Interval]bool{}
+	sched := NewRandom(11)
+	for steps := 0; steps < 10_000; steps++ {
+		runnable := m.Runnable()
+		if len(runnable) == 0 {
+			break
+		}
+		m.Step(sched.Pick(runnable))
+		for _, iv := range m.Intervals() {
+			if iv.Status == Finalized {
+				finalized[iv.ID] = true
+			}
+			if iv.Status == RolledBack && finalized[iv.ID] {
+				t.Fatalf("Theorem 5.2 violated: finalized interval %v rolled back", iv.ID)
+			}
+		}
+	}
+}
+
+func TestBuilderGuessShape(t *testing.T) {
+	b := NewBuilder()
+	b.Guess("X",
+		func(b *Builder) { b.Set("t", 1) },
+		func(b *Builder) { b.Set("e", 1) })
+	ops := b.Ops()
+	if _, ok := ops[0].(OpGuess); !ok {
+		t.Fatalf("ops[0] = %T, want OpGuess", ops[0])
+	}
+	br, ok := ops[1].(OpBranchFalse)
+	if !ok {
+		t.Fatalf("ops[1] = %T, want OpBranchFalse", ops[1])
+	}
+	if _, ok := ops[br.Target].(OpSet); !ok {
+		t.Fatalf("branch target = %T, want else-block OpSet", ops[br.Target])
+	}
+	prog := &Program{Procs: [][]Op{ops}}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejectsBadPrograms(t *testing.T) {
+	bad := []*Program{
+		{},
+		{Procs: [][]Op{{OpJump{Target: 99}}}},
+		{Procs: [][]Op{{OpBranchFalse{Target: -1}}}},
+		{Procs: [][]Op{{OpSend{To: 5, Var: "x"}}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("program %d validated but should not", i)
+		}
+	}
+}
+
+func TestOrderRaceProgram(t *testing.T) {
+	run(t, OrderRaceProgram(), func(t *testing.T, m *Machine, res RunResult) {
+		if res != RunDone {
+			t.Fatalf("run ended %v, want done; trace:\n%s", res, dumpTrace(m))
+		}
+		wantVar(t, m, 2, "total", 3)
+		if got := aid(t, m, "Order").Status; got != Affirmed && got != Denied {
+			t.Errorf("Order = %v, want affirmed or denied", got)
+		}
+	})
+}
+
+func TestDSLDataOps(t *testing.T) {
+	b := NewBuilder()
+	b.Set("a", 5).Add("a", 2).Copy("b", "a").AddVar("b", "a")
+	b.IfLess("b", 20,
+		func(b *Builder) { b.Set("lt", 1) },
+		func(b *Builder) { b.Set("lt", 0) })
+	b.IfLess("b", 10,
+		func(b *Builder) { b.Set("lt10", 1) },
+		func(b *Builder) { b.Set("lt10", 0) })
+	prog := &Program{Procs: [][]Op{b.Ops()}}
+	m, err := New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, res := m.Run(&RoundRobin{}, 100); res != RunDone {
+		t.Fatalf("run ended %v", res)
+	}
+	wantVar(t, m, 0, "a", 7)
+	wantVar(t, m, 0, "b", 14)
+	wantVar(t, m, 0, "lt", 1)
+	wantVar(t, m, 0, "lt10", 0)
+}
+
+func TestOpStrings(t *testing.T) {
+	cases := map[Op]string{
+		OpGuess{AID: "X"}:            "guess(X)",
+		OpAffirm{AID: "X"}:           "affirm(X)",
+		OpDeny{AID: "X"}:             "deny(X)",
+		OpFreeOf{AID: "X"}:           "free_of(X)",
+		OpSend{To: 2, Var: "v"}:      "send(P2, v)",
+		OpRecv{Var: "v"}:             "recv(v)",
+		OpSet{Var: "v", Val: 3}:      "v = 3",
+		OpAdd{Var: "v", Delta: 1}:    "v += 1",
+		OpAddVar{Dst: "a", Src: "b"}: "a += b",
+		OpCopy{Dst: "a", Src: "b"}:   "a = b",
+		OpLess{Var: "v", Val: 9}:     "G = v < 9",
+		OpBranchFalse{Target: 4}:     "if !G goto 4",
+		OpJump{Target: 7}:            "goto 7",
+		OpHalt{}:                     "halt",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("%T String = %q, want %q", op, got, want)
+		}
+	}
+}

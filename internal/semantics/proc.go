@@ -1,0 +1,108 @@
+package semantics
+
+import (
+	"hope/internal/ids"
+	"hope/internal/sets"
+)
+
+// message is one in-flight or delivered message. Messages are tagged with
+// the sender's dependency set at send time (§3); a message any of whose
+// (transitively resolved) tag AIDs is denied is an orphan and is discarded
+// at delivery rather than delivered.
+type message struct {
+	seq   int // global send order, for deterministic traces
+	from  ids.Proc
+	value int
+	tags  *sets.Set[ids.AID]
+}
+
+// consumption records one delivered message so rollback can restore it:
+// if the consuming state is rolled back for a reason other than the
+// message's own tags, the message is still valid and must be re-enqueued
+// for re-delivery (the receive re-executes).
+type consumption struct {
+	msg *message
+}
+
+// checkpoint is A.PS (Equation 1): everything needed to restore the
+// process to the state in which a guess (or tagged receive) executed.
+type checkpoint struct {
+	pc   int
+	vars map[string]int
+	g    bool
+	cur  ids.Interval
+	is   *sets.Set[ids.Interval]
+	// consumedLen is the length of the consumption log at checkpoint
+	// time; entries beyond it were consumed inside the rolled-back
+	// suffix and are candidates for re-delivery.
+	consumedLen int
+}
+
+// procState is the per-process component of the machine state: the data
+// and control variables of Section 4 (Vi, PC, G, I, IS) plus the mailbox
+// and the bookkeeping that makes rollback executable.
+type procState struct {
+	id   ids.Proc
+	code []Op
+
+	pc   int
+	vars map[string]int
+	g    bool // the G control variable: result of the most recent guess
+
+	cur ids.Interval            // I: current interval (NoInterval = definite)
+	is  *sets.Set[ids.Interval] // IS: speculative intervals leading to the current state
+
+	mailbox  []*message
+	consumed []consumption
+
+	halted bool
+
+	// intervals lists every interval this process has ever started, in
+	// creation order, including rolled-back ones (the checkers need the
+	// full record even though the paper's history is truncated).
+	intervals []ids.Interval
+}
+
+func newProcState(id ids.Proc, code []Op) *procState {
+	return &procState{
+		id:   id,
+		code: code,
+		vars: make(map[string]int),
+		is:   sets.New[ids.Interval](),
+	}
+}
+
+// snapshot captures the current state as a checkpoint (Equation 1).
+func (p *procState) snapshot() *checkpoint {
+	vars := make(map[string]int, len(p.vars))
+	for k, v := range p.vars {
+		vars[k] = v
+	}
+	return &checkpoint{
+		pc:          p.pc,
+		vars:        vars,
+		g:           p.g,
+		cur:         p.cur,
+		is:          p.is.Clone(),
+		consumedLen: len(p.consumed),
+	}
+}
+
+// blocked reports whether the process is at a receive with no deliverable
+// message. Orphan filtering happens at delivery, so a mailbox holding only
+// orphans still counts as "has mail" here; the receive step will discard
+// them and, if nothing valid remains, remain blocked at the same pc.
+func (p *procState) blocked() bool {
+	if p.halted || p.pc >= len(p.code) {
+		return false
+	}
+	if _, ok := p.code[p.pc].(OpRecv); ok {
+		return len(p.mailbox) == 0
+	}
+	return false
+}
+
+// runnable reports whether the process can take a step.
+func (p *procState) runnable() bool {
+	return !p.halted && p.pc < len(p.code) && !p.blocked()
+}

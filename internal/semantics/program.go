@@ -1,0 +1,248 @@
+package semantics
+
+import (
+	"fmt"
+)
+
+// The statement DSL.
+//
+// The paper defines HOPE over "communicating sequential processes …
+// that execute operations that cause events that change the state of a
+// process" (§3). The machine therefore interprets processes written in a
+// small flat instruction set: the four HOPE primitives, message passing,
+// assignment (standing in for arbitrary internal computation) and
+// structured control flow compiled to branches. The flat form gives every
+// statement a program counter, which is exactly the checkpointable "location
+// of control" PC that Section 4 puts in the state variables.
+
+// Op is one executable statement. Implementations are small value types.
+type Op interface {
+	fmt.Stringer
+	isOp()
+}
+
+// OpGuess executes guess(X) (Section 5.1): the process becomes dependent on
+// X, a new interval begins, and the speculative result True is stored in
+// the G control variable. If X is already resolved the recorded result is
+// returned with no new interval.
+type OpGuess struct{ AID string }
+
+// OpAffirm executes affirm(X) (Section 5.2).
+type OpAffirm struct{ AID string }
+
+// OpDeny executes deny(X) (Section 5.3).
+type OpDeny struct{ AID string }
+
+// OpFreeOf executes free_of(X) (Section 5.4).
+type OpFreeOf struct{ AID string }
+
+// OpSend sends the value of Var to process To (1-based process number).
+// The message is tagged with the sender's current dependency set (§3: "the
+// message is tagged with the set of AIDs that the sender currently depends
+// on").
+type OpSend struct {
+	To  int
+	Var string
+}
+
+// OpRecv blocks until a non-orphaned message is available, delivers its
+// value into Var, and implicitly guesses every AID in the message's tag
+// (§3: "the receiver implicitly applies a guess primitive to each of the
+// AIDs in the message's tag").
+type OpRecv struct{ Var string }
+
+// OpSet assigns a constant to a data variable.
+type OpSet struct {
+	Var string
+	Val int
+}
+
+// OpAdd adds a constant to a data variable.
+type OpAdd struct {
+	Var   string
+	Delta int
+}
+
+// OpAddVar adds the value of Src to Dst.
+type OpAddVar struct {
+	Dst string
+	Src string
+}
+
+// OpCopy copies the value of Src into Dst.
+type OpCopy struct {
+	Dst string
+	Src string
+}
+
+// OpLess stores (Var < Val) into the G control variable, so data-dependent
+// branches reuse OpBranchFalse — the same shape the paper's Figure 2 uses
+// for "if (line < PageSize)".
+type OpLess struct {
+	Var string
+	Val int
+}
+
+// OpBranchFalse jumps to Target when the G control variable is False —
+// the compiled form of the paper's idiomatic "guess embedded in an if
+// statement" (§3).
+type OpBranchFalse struct{ Target int }
+
+// OpJump unconditionally jumps to Target.
+type OpJump struct{ Target int }
+
+// OpHalt stops the process.
+type OpHalt struct{}
+
+func (OpGuess) isOp()       {}
+func (OpAffirm) isOp()      {}
+func (OpDeny) isOp()        {}
+func (OpFreeOf) isOp()      {}
+func (OpSend) isOp()        {}
+func (OpRecv) isOp()        {}
+func (OpSet) isOp()         {}
+func (OpAdd) isOp()         {}
+func (OpAddVar) isOp()      {}
+func (OpCopy) isOp()        {}
+func (OpLess) isOp()        {}
+func (OpBranchFalse) isOp() {}
+func (OpJump) isOp()        {}
+func (OpHalt) isOp()        {}
+
+func (o OpGuess) String() string       { return fmt.Sprintf("guess(%s)", o.AID) }
+func (o OpAffirm) String() string      { return fmt.Sprintf("affirm(%s)", o.AID) }
+func (o OpDeny) String() string        { return fmt.Sprintf("deny(%s)", o.AID) }
+func (o OpFreeOf) String() string      { return fmt.Sprintf("free_of(%s)", o.AID) }
+func (o OpSend) String() string        { return fmt.Sprintf("send(P%d, %s)", o.To, o.Var) }
+func (o OpRecv) String() string        { return fmt.Sprintf("recv(%s)", o.Var) }
+func (o OpSet) String() string         { return fmt.Sprintf("%s = %d", o.Var, o.Val) }
+func (o OpAdd) String() string         { return fmt.Sprintf("%s += %d", o.Var, o.Delta) }
+func (o OpAddVar) String() string      { return fmt.Sprintf("%s += %s", o.Dst, o.Src) }
+func (o OpCopy) String() string        { return fmt.Sprintf("%s = %s", o.Dst, o.Src) }
+func (o OpLess) String() string        { return fmt.Sprintf("G = %s < %d", o.Var, o.Val) }
+func (o OpBranchFalse) String() string { return fmt.Sprintf("if !G goto %d", o.Target) }
+func (o OpJump) String() string        { return fmt.Sprintf("goto %d", o.Target) }
+func (OpHalt) String() string          { return "halt" }
+
+// Program is a closed distributed program: one instruction list per
+// process. Process numbers are 1-based (P1 … Pn) to match the paper's
+// notation; Procs[0] is P1. AIDs are named by strings and shared by all
+// processes, standing in for aid_init values passed in messages.
+type Program struct {
+	Procs [][]Op
+}
+
+// Validate checks static well-formedness: branch targets in range and
+// send destinations naming real processes.
+func (p *Program) Validate() error {
+	if len(p.Procs) == 0 {
+		return fmt.Errorf("program has no processes")
+	}
+	for pi, code := range p.Procs {
+		for pc, op := range code {
+			switch o := op.(type) {
+			case OpBranchFalse:
+				if o.Target < 0 || o.Target > len(code) {
+					return fmt.Errorf("P%d pc %d: branch target %d out of range", pi+1, pc, o.Target)
+				}
+			case OpJump:
+				if o.Target < 0 || o.Target > len(code) {
+					return fmt.Errorf("P%d pc %d: jump target %d out of range", pi+1, pc, o.Target)
+				}
+			case OpSend:
+				if o.To < 1 || o.To > len(p.Procs) {
+					return fmt.Errorf("P%d pc %d: send to unknown process P%d", pi+1, pc, o.To)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Builder assembles one process's instruction list with structured control
+// flow, so tests read like the paper's figures rather than like assembly.
+type Builder struct {
+	ops []Op
+}
+
+// NewBuilder returns an empty process builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Ops returns the assembled instruction list.
+func (b *Builder) Ops() []Op { return b.ops }
+
+// Emit appends a raw op.
+func (b *Builder) Emit(op Op) *Builder {
+	b.ops = append(b.ops, op)
+	return b
+}
+
+// Set appends an assignment.
+func (b *Builder) Set(v string, val int) *Builder { return b.Emit(OpSet{Var: v, Val: val}) }
+
+// Add appends an increment.
+func (b *Builder) Add(v string, d int) *Builder { return b.Emit(OpAdd{Var: v, Delta: d}) }
+
+// Send appends a send of variable v to process number to.
+func (b *Builder) Send(to int, v string) *Builder { return b.Emit(OpSend{To: to, Var: v}) }
+
+// Recv appends a blocking receive into variable v.
+func (b *Builder) Recv(v string) *Builder { return b.Emit(OpRecv{Var: v}) }
+
+// Affirm appends affirm(aid).
+func (b *Builder) Affirm(aid string) *Builder { return b.Emit(OpAffirm{AID: aid}) }
+
+// Deny appends deny(aid).
+func (b *Builder) Deny(aid string) *Builder { return b.Emit(OpDeny{AID: aid}) }
+
+// FreeOf appends free_of(aid).
+func (b *Builder) FreeOf(aid string) *Builder { return b.Emit(OpFreeOf{AID: aid}) }
+
+// Guess appends the paper's idiom: if guess(aid) { then } else { els }.
+// Either block may be nil. The optimistic block runs on the speculative
+// True; the pessimistic block runs after a rollback returns False.
+func (b *Builder) Guess(aid string, then, els func(*Builder)) *Builder {
+	b.Emit(OpGuess{AID: aid})
+	branchAt := len(b.ops)
+	b.Emit(OpBranchFalse{}) // target patched below
+	if then != nil {
+		then(b)
+	}
+	jumpAt := len(b.ops)
+	b.Emit(OpJump{}) // target patched below
+	b.ops[branchAt] = OpBranchFalse{Target: len(b.ops)}
+	if els != nil {
+		els(b)
+	}
+	b.ops[jumpAt] = OpJump{Target: len(b.ops)}
+	return b
+}
+
+// GuessFlat appends a bare guess with no branch; the result lands in G and
+// can be tested later with raw ops. Used by generated programs.
+func (b *Builder) GuessFlat(aid string) *Builder { return b.Emit(OpGuess{AID: aid}) }
+
+// AddVar appends Dst += Src.
+func (b *Builder) AddVar(dst, src string) *Builder { return b.Emit(OpAddVar{Dst: dst, Src: src}) }
+
+// Copy appends Dst = Src.
+func (b *Builder) Copy(dst, src string) *Builder { return b.Emit(OpCopy{Dst: dst, Src: src}) }
+
+// IfLess appends: if v < val { then } else { els }. Either block may be
+// nil.
+func (b *Builder) IfLess(v string, val int, then, els func(*Builder)) *Builder {
+	b.Emit(OpLess{Var: v, Val: val})
+	branchAt := len(b.ops)
+	b.Emit(OpBranchFalse{})
+	if then != nil {
+		then(b)
+	}
+	jumpAt := len(b.ops)
+	b.Emit(OpJump{})
+	b.ops[branchAt] = OpBranchFalse{Target: len(b.ops)}
+	if els != nil {
+		els(b)
+	}
+	b.ops[jumpAt] = OpJump{Target: len(b.ops)}
+	return b
+}

@@ -1,0 +1,157 @@
+package semantics
+
+import (
+	"fmt"
+)
+
+// affirm implements Section 5.2.
+//
+// Definite case (Si.I = ∅, Equations 7–9): every interval B ∈ X.DOM drops
+// X from B.IDO, B leaves X.DOM, and B finalizes when its IDO empties.
+//
+// Speculative case (Equations 10–14): the affirming interval A substitutes
+// its own dependency set for X in every dependent: Y.DOM gains X.DOM for
+// each Y ∈ A.IDO (Eq. 10) and each B ∈ X.DOM gets B.IDO ← (B.IDO ∪
+// A.IDO) \ {X} (Eq. 12), finalizing if that empties (Eq. 11/13), and
+// leaves X.DOM (Eq. 14). The two equations are applied together per
+// dependent so the Lemma 5.1 symmetry holds after every step.
+func (m *Machine) affirm(p *procState, a *aidState) {
+	// §5.2: "Multiple affirm primitives are redundant; once affirmed,
+	// it's affirmed", while conflicting affirm and deny "have no
+	// meaning" — we detect the conflict and let the first resolution
+	// win so checker-generated programs keep a defined behavior.
+	switch {
+	case a.status == Affirmed || a.status == SpecAffirmed:
+		m.event(Event{Proc: p.id, Kind: EvAffirm, AID: a.id, Detail: "redundant"})
+		return
+	case a.status == Denied && a.systemDenied:
+		// §5.6 approximation: the affirm was already undone by rollback
+		// and converted to a deny; its re-execution is stale, not a
+		// conflict.
+		m.event(Event{Proc: p.id, Kind: EvAffirm, AID: a.id, Detail: "stale after system deny"})
+		return
+	case a.status == Denied || a.claimed:
+		m.userError(p, "affirm(%s): conflicts with prior deny (§5.2)", a.name)
+		return
+	}
+	cur := m.current(p)
+
+	if cur == nil {
+		// Definite affirm, Equations 7–9.
+		a.claimed = true
+		a.status = Affirmed
+		m.event(Event{Proc: p.id, Kind: EvAffirm, AID: a.id, Definite: true})
+		for _, bID := range a.dom.Elems() {
+			b := m.intervals[bID]
+			if !b.speculative() {
+				continue
+			}
+			b.ido.Remove(a.id) // Equation 7
+			a.dom.Remove(bID)  // Equation 9
+			if b.ido.Empty() { // Equation 8
+				m.finalize(b)
+			}
+		}
+		return
+	}
+
+	// Speculative affirm, Equations 10–14.
+	a.claimed = true
+	a.status = SpecAffirmed
+	a.affirmer = cur.id
+	repl := cur.ido.Clone()
+	repl.Remove(a.id) // self-affirm: A's residual dependencies exclude X
+	a.replacement = repl
+	cur.specAffirmed.Add(a.id)
+	m.event(Event{Proc: p.id, Kind: EvAffirm, AID: a.id, Interval: cur.id,
+		Definite: false, Detail: fmt.Sprintf("replacement %s", repl)})
+
+	idoSnap := cur.ido.Clone() // A.IDO at affirm time
+	for _, bID := range a.dom.Elems() {
+		b := m.intervals[bID]
+		if !b.speculative() {
+			continue
+		}
+		// Equations 10 + 12 applied symmetrically: B.IDO gains A.IDO,
+		// and each gained Y records B in Y.DOM.
+		for _, y := range idoSnap.Elems() {
+			if y == a.id {
+				continue
+			}
+			if b.ido.Add(y) {
+				m.aids[y].dom.Add(bID)
+			}
+		}
+		b.ido.Remove(a.id) // the \{X} of Equation 12
+		a.dom.Remove(bID)  // Equation 14
+		if b.ido.Empty() { // Equation 13 (self-affirm collapse, §5.2)
+			m.finalize(b)
+		}
+	}
+}
+
+// deny implements Section 5.3.
+//
+// Definite case (Si.I = ∅ or X ∈ A.IDO, Equation 15): every interval in
+// X.DOM rolls back. Speculative case (Equation 16): X is recorded in
+// A.IHD and the deny takes effect if and when A finalizes (Equation 22).
+func (m *Machine) deny(p *procState, a *aidState) {
+	// Mirror of the affirm claim logic: repeated denies are redundant
+	// (§5.2), a deny conflicting with an affirm is the detected error.
+	switch {
+	case a.status == Denied || (a.claimed && a.status == Unresolved):
+		m.event(Event{Proc: p.id, Kind: EvDeny, AID: a.id, Detail: "redundant"})
+		return
+	case a.status == Affirmed || a.status == SpecAffirmed:
+		m.userError(p, "deny(%s): conflicts with prior affirm (§5.2)", a.name)
+		return
+	}
+	cur := m.current(p)
+
+	if cur == nil || cur.ido.Has(a.id) {
+		// Definite deny, Equation 15.
+		a.claimed = true
+		a.status = Denied
+		m.event(Event{Proc: p.id, Kind: EvDeny, AID: a.id, Definite: true})
+		m.rollbackDependents(a)
+		return
+	}
+
+	// Speculative deny, Equation 16.
+	a.claimed = true
+	a.claimedBy = cur.id
+	cur.ihd.Add(a.id)
+	m.event(Event{Proc: p.id, Kind: EvDeny, AID: a.id, Interval: cur.id, Definite: false})
+}
+
+// freeOf implements Section 5.4 (Equations 17–19): affirm X if the
+// current computation does not depend on it, deny X (rolling the current
+// interval back) if it does. The paper's Equation 18 writes the test as
+// X ∉ A.DOM; per the Theorem 6.3 proof text the inspected set is A's
+// dependencies, i.e. X ∉ A.IDO.
+func (m *Machine) freeOf(p *procState, a *aidState) {
+	cur := m.current(p)
+	m.event(Event{Proc: p.id, Kind: EvFreeOf, AID: a.id, Interval: p.cur})
+	// A free_of re-executed after its own deny rolled the world back
+	// finds the AID already denied: the ordering constraint was enforced
+	// by that deny, so nothing remains to assert.
+	if a.status == Denied {
+		return
+	}
+	if cur == nil {
+		m.affirm(p, a) // Equation 17: definite affirm
+		return
+	}
+	cur.freeOf.Add(a.id)
+	if !cur.ido.Has(a.id) {
+		m.affirm(p, a) // Equation 18: speculative affirm
+		return
+	}
+	m.deny(p, a) // Equation 19: X ∈ A.IDO makes this a definite deny
+}
+
+func (m *Machine) userError(p *procState, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	m.userErrs = append(m.userErrs, fmt.Sprintf("%s: %s", p.id, msg))
+	m.event(Event{Proc: p.id, Kind: EvUserError, Detail: msg})
+}

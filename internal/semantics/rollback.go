@@ -1,0 +1,125 @@
+package semantics
+
+import (
+	"fmt"
+
+	"hope/internal/ids"
+)
+
+// rollbackDependents applies the consequence of a definite deny(X)
+// (Equation 15 and Equation 22): every interval in X.DOM rolls back. Per
+// Theorem 5.1, rolling back an interval also rolls back every later
+// interval of the same process, so the per-interval rollback below
+// truncates a whole suffix; intervals already truncated by an earlier
+// iteration are skipped.
+func (m *Machine) rollbackDependents(a *aidState) {
+	for _, bID := range a.dom.Elems() {
+		b := m.intervals[bID]
+		if !b.speculative() {
+			continue
+		}
+		m.rollbackFrom(b)
+	}
+}
+
+// rollbackFrom implements Equation 24 generalized to the suffix mandated
+// by Theorem 5.1: interval A and every later live interval of A's process
+// are discarded, the process state is restored from A.PS, and execution
+// resumes from the guess with G = False (or from the receive, for an
+// implicit interval).
+func (m *Machine) rollbackFrom(iv *intervalState) {
+	p := m.procByID(iv.pid)
+
+	// Collect the live suffix: speculative intervals at or after iv in
+	// creation order. A finalized interval at or after iv would violate
+	// Theorem 5.2 (its IDO is a superset of iv's, so it could not have
+	// drained first) — treat as an internal invariant failure.
+	var suffix []*intervalState
+	for _, id := range p.intervals {
+		b := m.intervals[id]
+		if b.seq < iv.seq {
+			continue
+		}
+		switch b.status {
+		case Speculative:
+			suffix = append(suffix, b)
+		case Finalized:
+			panic(fmt.Sprintf("semantics: finalized %v after rolled-back %v violates Theorem 5.2", b.id, iv.id))
+		case RolledBack:
+			// Already truncated by an earlier cascade.
+		}
+	}
+
+	// Discard the suffix (latest first, matching Del's truncation).
+	for i := len(suffix) - 1; i >= 0; i-- {
+		b := suffix[i]
+		b.status = RolledBack
+		p.is.Remove(b.id)
+		// Withdraw b from every DOM set, preserving the Lemma 5.1
+		// symmetry for the surviving intervals.
+		for _, x := range b.ido.Elems() {
+			m.aids[x].dom.Remove(b.id)
+		}
+		// §5.6: rollback of a speculative affirm(X) is a deny(X). The
+		// substitution already emptied X.DOM, so only the status flips.
+		for _, x := range b.specAffirmed.Elems() {
+			ax := m.aids[x]
+			if ax.status == SpecAffirmed && ax.affirmer == b.id {
+				ax.status = Denied
+				ax.systemDenied = true
+			}
+		}
+		// §5.6: speculative denies die with the interval — release the
+		// resolution claim so a later deny or affirm is legal.
+		for _, x := range b.ihd.Elems() {
+			ax := m.aids[x]
+			if ax.claimedBy == b.id {
+				ax.claimed = false
+				ax.claimedBy = ids.NoInterval
+			}
+		}
+		m.event(Event{Proc: p.id, Kind: EvRollback, Interval: b.id})
+	}
+
+	// Restore the checkpoint of the earliest discarded interval
+	// (Equation 24: H ← Del(H, A); S ← A.PS).
+	ps := iv.ps
+	p.vars = make(map[string]int, len(ps.vars))
+	for k, v := range ps.vars {
+		p.vars[k] = v
+	}
+	// Messages consumed inside the discarded suffix return to the front
+	// of the mailbox in their original order; orphans among them are
+	// filtered at the next delivery attempt.
+	if n := len(p.consumed); n > ps.consumedLen {
+		requeue := make([]*message, 0, n-ps.consumedLen)
+		for _, c := range p.consumed[ps.consumedLen:] {
+			requeue = append(requeue, c.msg)
+		}
+		p.mailbox = append(requeue, p.mailbox...)
+		p.consumed = p.consumed[:ps.consumedLen]
+	}
+	// IS is the snapshot filtered to intervals still speculative:
+	// intervals that finalized since the checkpoint must not reappear.
+	p.is.Clear()
+	for _, id := range ps.is.Elems() {
+		if m.intervals[id].speculative() {
+			p.is.Add(id)
+		}
+	}
+	if p.is.Empty() {
+		p.cur = ids.NoInterval
+	} else {
+		if !p.is.Has(ps.cur) {
+			panic(fmt.Sprintf("semantics: restored IS %v does not contain checkpoint interval %v", p.is, ps.cur))
+		}
+		p.cur = ps.cur
+	}
+	p.g = ps.g
+	p.pc = guessResumePC(iv)
+	if !iv.implicit {
+		p.g = false // the guess returns False on resumption (§3, Eq. 24)
+	}
+	// A process that halted inside the discarded suffix resumes running.
+	p.halted = false
+}

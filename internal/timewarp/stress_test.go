@@ -1,0 +1,49 @@
+package timewarp
+
+// Stress reproduction harness for the doomed-continuation bug class
+// (DESIGN.md, implementation bug c): run with REPRO=1 under -race and
+// CPU contention. Kept because this class of bug reproduces only under
+// load.
+import (
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"testing"
+
+	"hope/internal/engine"
+)
+
+func TestStressDivergenceHunt(t *testing.T) {
+	if os.Getenv("REPRO") == "" {
+		t.Skip()
+	}
+	cfg := Config{LPs: 3, Population: 5, Horizon: 120, MaxDelta: 7, Seed: 4}
+	want := Sequential(cfg)
+	for iter := 0; iter < 60; iter++ {
+		got, err := Parallel(cfg, engine.WithOutput(io.Discard))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Committed, want.Committed) {
+			fmt.Printf("iter %d DIVERGE rollbacks=%d stragglers=%d\n", iter, got.Rollbacks, got.Stragglers)
+			seen := map[[3]uint64][]uint64{}
+			for _, d := range got.DebugCommits() {
+				key := [3]uint64{d[0], d[1], d[2]}
+				seen[key] = append(seen[key], d[3])
+			}
+			for key, attempts := range seen {
+				if len(attempts) > 1 {
+					fmt.Printf("  DOUBLE-COMMIT lp%d ts=%d seed=%x attempts=%v\n", key[0], key[1], key[2], attempts)
+				}
+			}
+			for i := range want.Committed {
+				if !reflect.DeepEqual(got.Committed[i], want.Committed[i]) {
+					fmt.Printf("  lp%d want(%d) got(%d)\n", i, len(want.Committed[i]), len(got.Committed[i]))
+				}
+			}
+			t.Fatal("diverged")
+		}
+	}
+	fmt.Println("iterations matched")
+}

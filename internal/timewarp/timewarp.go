@@ -1,0 +1,341 @@
+// Package timewarp expresses Time Warp [Jefferson 1985, 17] in HOPE
+// primitives, substantiating the paper's related-work claim that "HOPE
+// can specify any optimistic assumption, including message arrival
+// order" (§2).
+//
+// Each logical process (LP) processes simulation events eagerly,
+// guessing, per event, the Time Warp assumption — "no event with an
+// earlier timestamp will arrive later". A straggler arrival denies the
+// assumption of the earliest out-of-order event; HOPE's rollback then
+// plays the role of Time Warp's state restoration, and message orphaning
+// the role of anti-messages — neither needs simulator-specific code.
+// Assumptions are committed in bulk at the end of the run (a degenerate
+// GVT: once the system quiesces, virtual time has passed every event);
+// per-event state commits ride on HOPE effects.
+//
+// The workload is PHOLD: a fixed population of events hops between LPs
+// with deterministic pseudo-random increments, so the parallel simulation
+// must commit exactly the event multiset of the sequential baseline —
+// which Run verifies.
+package timewarp
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"hope/internal/engine"
+)
+
+// Event is one simulation event. Seed deterministically derives the
+// event's successor, so results are schedule-independent.
+type Event struct {
+	TS   int64
+	Dst  int
+	Seed uint64
+}
+
+// splitmix64 advances a seed (SplitMix64 step), the source of all
+// workload randomness.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d649bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Config parameterizes a PHOLD run.
+type Config struct {
+	// LPs is the number of logical processes (≥ 1).
+	LPs int
+	// Population is the number of initial events.
+	Population int
+	// Horizon is the last virtual time processed; successor events past
+	// it die.
+	Horizon int64
+	// MaxDelta bounds the timestamp increment per hop (≥ 1).
+	MaxDelta int64
+	// Seed drives the workload.
+	Seed uint64
+}
+
+func (c Config) normalize() Config {
+	if c.LPs < 1 {
+		c.LPs = 1
+	}
+	if c.Population < 1 {
+		c.Population = 1
+	}
+	if c.MaxDelta < 1 {
+		c.MaxDelta = 1
+	}
+	return c
+}
+
+// initialEvents derives the deterministic starting population.
+func (c Config) initialEvents() []Event {
+	evs := make([]Event, 0, c.Population)
+	s := c.Seed
+	for i := 0; i < c.Population; i++ {
+		s = splitmix64(s + uint64(i))
+		evs = append(evs, Event{
+			TS:   1 + int64(s%uint64(c.MaxDelta)),
+			Dst:  int(s>>16) % c.LPs,
+			Seed: s,
+		})
+	}
+	return evs
+}
+
+// successor derives the event an LP schedules when processing e, or
+// ok=false when it dies at the horizon.
+func (c Config) successor(e Event) (Event, bool) {
+	s := splitmix64(e.Seed)
+	delta := 1 + int64(s%uint64(c.MaxDelta))
+	ts := e.TS + delta
+	if ts > c.Horizon {
+		return Event{}, false
+	}
+	return Event{TS: ts, Dst: int(s>>16) % c.LPs, Seed: s}, true
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Committed maps LP → the multiset (sorted) of committed event
+	// timestamps.
+	Committed [][]int64
+	// Events is the total number of committed events.
+	Events int
+	// Rollbacks counts LP body restarts (parallel run only).
+	Rollbacks int
+	// Stragglers counts straggler denials issued (parallel run only).
+	Stragglers int
+
+	debug [][4]uint64 // lp, ts, seed, attempt (diagnostics)
+}
+
+// DebugCommits exposes the commit forensics (diagnostics).
+func (r Result) DebugCommits() [][4]uint64 { return r.debug }
+
+// Sequential runs the baseline single-threaded DES.
+func Sequential(cfg Config) Result {
+	cfg = cfg.normalize()
+	var fel seqHeap
+	for _, e := range cfg.initialEvents() {
+		heap.Push(&fel, e)
+	}
+	res := Result{Committed: make([][]int64, cfg.LPs)}
+	for fel.Len() > 0 {
+		e := heap.Pop(&fel).(Event)
+		res.Committed[e.Dst] = append(res.Committed[e.Dst], e.TS)
+		res.Events++
+		if next, ok := cfg.successor(e); ok {
+			heap.Push(&fel, next)
+		}
+	}
+	for _, c := range res.Committed {
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	}
+	return res
+}
+
+type seqHeap []Event
+
+func (h seqHeap) Len() int           { return len(h) }
+func (h seqHeap) Less(i, j int) bool { return h[i].TS < h[j].TS }
+func (h seqHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *seqHeap) Push(x any)        { *h = append(*h, x.(Event)) }
+func (h *seqHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// commitAll tells every LP to affirm its outstanding assumptions — the
+// degenerate end-of-run GVT.
+type commitAll struct{}
+
+// Parallel runs the HOPE Time Warp simulation on rt-owned goroutine LPs.
+// It spawns its own runtime internally configured by opts.
+func Parallel(cfg Config, opts ...engine.Option) (Result, error) {
+	cfg = cfg.normalize()
+	rt := engine.New(opts...)
+	defer rt.Shutdown()
+
+	res := Result{Committed: make([][]int64, cfg.LPs)}
+	var mu sync.Mutex // guards res.Committed commits from effects
+	var stragglers sync.Map
+
+	lpName := func(i int) string { return fmt.Sprintf("lp%d", i) }
+
+	lpProcs := make([]*lpHandle, cfg.LPs)
+	for i := 0; i < cfg.LPs; i++ {
+		i := i
+		h := &lpHandle{}
+		lpProcs[i] = h
+		if err := rt.Spawn(lpName(i), func(p *engine.Proc) error {
+			h.capture(p)
+			return lpBody(p, cfg, i, lpName, func(ts int64, seed uint64, attempt int) {
+				mu.Lock()
+				res.Committed[i] = append(res.Committed[i], ts)
+				res.debug = append(res.debug, [4]uint64{uint64(i), uint64(ts), seed, uint64(attempt)})
+				mu.Unlock()
+			}, &stragglers)
+		}); err != nil {
+			return res, err
+		}
+	}
+
+	// Inject the initial population.
+	if err := rt.Spawn("injector", func(p *engine.Proc) error {
+		for _, e := range cfg.initialEvents() {
+			if err := p.Send(lpName(e.Dst), e); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return res, err
+	}
+
+	// Wait for the event storm to settle, then commit everything.
+	rt.Quiesce()
+	if err := rt.Spawn("gvt", func(p *engine.Proc) error {
+		for i := 0; i < cfg.LPs; i++ {
+			if err := p.Send(lpName(i), commitAll{}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return res, err
+	}
+	rt.Quiesce()
+	rt.Shutdown()
+	for _, err := range rt.Wait() {
+		return res, err
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i := range res.Committed {
+		sort.Slice(res.Committed[i], func(a, b int) bool { return res.Committed[i][a] < res.Committed[i][b] })
+		res.Events += len(res.Committed[i])
+	}
+	for _, h := range lpProcs {
+		res.Rollbacks += h.restarts()
+	}
+	stragglers.Range(func(_, v any) bool {
+		res.Stragglers += v.(int)
+		return true
+	})
+	return res, nil
+}
+
+// lpHandle lets the harness read restart counts after the run.
+type lpHandle struct {
+	mu sync.Mutex
+	p  *engine.Proc
+}
+
+func (h *lpHandle) capture(p *engine.Proc) {
+	h.mu.Lock()
+	if h.p == nil {
+		h.p = p
+	}
+	h.mu.Unlock()
+}
+
+func (h *lpHandle) restarts() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.p == nil {
+		return 0
+	}
+	return h.p.Restarts()
+}
+
+// procRec is one speculatively processed event awaiting commitment.
+type procRec struct {
+	ts int64
+	x  engine.AID
+}
+
+// lpBody is one logical process: eager optimistic event processing with
+// per-event order assumptions.
+func lpBody(p *engine.Proc, cfg Config, self int, lpName func(int) string,
+	commit func(int64, uint64, int), stragglers *sync.Map) error {
+
+	var feq seqHeap // future event queue, local (rebuilt by replay)
+	var clock int64
+	var processed []procRec
+
+	for {
+		m, err := p.Recv()
+		if err != nil {
+			if errors.Is(err, engine.ErrShutdown) {
+				return nil
+			}
+			return err
+		}
+		var ev Event
+		switch v := m.Payload.(type) {
+		case Event:
+			ev = v
+		case commitAll:
+			// End-of-run GVT: affirm everything this LP processed. The
+			// self-affirm rule (§5.2) collapses the speculative chain;
+			// assumptions of other LPs carried in tags drain when their
+			// owners affirm them.
+			for _, r := range processed {
+				if err := p.Affirm(r.x); err != nil && !errors.Is(err, engine.ErrConflict) {
+					return err
+				}
+			}
+			processed = processed[:0]
+			continue
+		default:
+			return fmt.Errorf("lp%d: unexpected %T", self, m.Payload)
+		}
+		heap.Push(&feq, ev)
+
+		for feq.Len() > 0 {
+			e := heap.Pop(&feq).(Event)
+			if e.TS < clock {
+				// Straggler: some already-processed event has a later
+				// timestamp. Deny the earliest such assumption; HOPE
+				// rolls this LP back to that event's guess (and every
+				// dependent, transitively — the anti-message cascade).
+				idx := sort.Search(len(processed), func(i int) bool { return processed[i].ts > e.TS })
+				x := processed[idx].x
+				if v, loaded := stragglers.LoadOrStore(self, 1); loaded {
+					stragglers.Store(self, v.(int)+1)
+				}
+				if err := p.Deny(x); err != nil && !errors.Is(err, engine.ErrConflict) {
+					return err
+				}
+				// Control does not normally reach here: the deny rolls
+				// this process back. If it does (assumption already
+				// settled), requeue and continue.
+				heap.Push(&feq, e)
+				continue
+			}
+
+			x := p.NewAID()
+			if !p.Guess(x) {
+				// Denied: this event was processed out of order. Put it
+				// back and wait for the straggler to arrive.
+				heap.Push(&feq, e)
+				break
+			}
+			clock = e.TS
+			processed = append(processed, procRec{ts: e.TS, x: x})
+			ts, seed, attempt := e.TS, e.Seed, p.Restarts()
+			p.Effect(func() { commit(ts, seed, attempt) }, nil)
+			if next, ok := cfg.successor(e); ok {
+				if err := p.Send(lpName(next.Dst), next); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}

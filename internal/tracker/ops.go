@@ -1,0 +1,426 @@
+package tracker
+
+import (
+	"hope/internal/ids"
+)
+
+// GuessOutcome is the result of a Guess call.
+type GuessOutcome struct {
+	// Result is the value the guess primitive returns: True speculatively
+	// (or definitively, if the AID is already affirmed), False if already
+	// denied.
+	Result bool
+	// Interval names the opened interval (NoInterval when the guess
+	// short-circuited on a resolved AID).
+	Interval ids.Interval
+}
+
+// Guess executes guess(X) for process p (Section 5.1). logIndex is the
+// replay-log position of the guess, used as the rollback restart point.
+func (t *Tracker) Guess(p ids.Proc, x ids.AID, logIndex int) (GuessOutcome, error) {
+	t.mu.Lock()
+	ps, err := t.procLocked(p)
+	if err != nil {
+		t.mu.Unlock()
+		return GuessOutcome{}, err
+	}
+	if ps.pending != nil {
+		t.mu.Unlock()
+		return GuessOutcome{}, ErrRolledBack
+	}
+	a := t.aidLocked(x)
+	switch a.status {
+	case Affirmed:
+		t.stats.ShortGuesses++
+		t.mu.Unlock()
+		return GuessOutcome{Result: true}, nil
+	case Denied:
+		t.stats.ShortGuesses++
+		t.mu.Unlock()
+		return GuessOutcome{Result: false}, nil
+	}
+	deps, orphan := t.resolveDepsLocked([]ids.AID{x})
+	if orphan {
+		t.stats.ShortGuesses++
+		t.mu.Unlock()
+		return GuessOutcome{Result: false}, nil
+	}
+	if deps.Empty() {
+		t.stats.ShortGuesses++
+		t.mu.Unlock()
+		return GuessOutcome{Result: true}, nil
+	}
+	iv := t.openIntervalLocked(ps, logIndex, false, deps)
+	t.stats.Guesses++
+	t.mu.Unlock()
+	return GuessOutcome{Result: true, Interval: iv.id}, nil
+}
+
+// DeliverOutcome is the result of a Deliver call.
+type DeliverOutcome struct {
+	// Orphan reports the message must be discarded: a transitive tag
+	// dependency is denied.
+	Orphan bool
+	// Interval names the implicit-guess interval opened for the delivery
+	// (NoInterval when the tag set resolved empty).
+	Interval ids.Interval
+}
+
+// Deliver performs the implicit guesses for receiving a message tagged
+// with tags (§3, §7). logIndex is the replay-log position of the receive.
+func (t *Tracker) Deliver(p ids.Proc, tags []ids.AID, logIndex int) (DeliverOutcome, error) {
+	t.mu.Lock()
+	ps, err := t.procLocked(p)
+	if err != nil {
+		t.mu.Unlock()
+		return DeliverOutcome{}, err
+	}
+	if ps.pending != nil {
+		t.mu.Unlock()
+		return DeliverOutcome{}, ErrRolledBack
+	}
+	deps, orphan := t.resolveDepsLocked(tags)
+	if orphan {
+		t.stats.Orphans++
+		t.mu.Unlock()
+		return DeliverOutcome{Orphan: true}, nil
+	}
+	if deps.Empty() {
+		t.mu.Unlock()
+		return DeliverOutcome{}, nil
+	}
+	iv := t.openIntervalLocked(ps, logIndex, true, deps)
+	t.stats.ImplicitGuesses++
+	t.mu.Unlock()
+	return DeliverOutcome{Interval: iv.id}, nil
+}
+
+// Affirm executes affirm(X) for process p (Section 5.2, Equations 7–14).
+func (t *Tracker) Affirm(p ids.Proc, x ids.AID) error {
+	t.mu.Lock()
+	ps, err := t.procLocked(p)
+	if err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	if ps.pending != nil {
+		t.mu.Unlock()
+		return ErrRolledBack
+	}
+	ctx := newOpCtx()
+	err = t.affirmLocked(ps, x, ctx)
+	t.mu.Unlock()
+	t.finish(ctx)
+	return err
+}
+
+func (t *Tracker) affirmLocked(ps *procState, x ids.AID, ctx *opCtx) error {
+	a := t.aidLocked(x)
+	switch {
+	case a.status == Affirmed || a.status == SpecAffirmed:
+		return nil // redundant (§5.2)
+	case a.status == Denied && a.systemDenied:
+		return nil // stale re-execution after a §5.6 system deny
+	case a.status == Denied || a.claimed:
+		return ErrConflict
+	}
+
+	ctx.resolved = true
+	cur := ps.current()
+	if cur == nil {
+		// Definite affirm (Equations 7–9).
+		a.claimed = true
+		a.status = Affirmed
+		t.stats.DefiniteAffirms++
+		for _, bID := range a.dom.Elems() {
+			b := t.intervals[bID]
+			if b == nil || b.status != speculative {
+				continue
+			}
+			b.ido.Remove(x)
+			a.dom.Remove(bID)
+			if b.ido.Empty() {
+				t.finalizeLocked(b, ctx)
+			}
+		}
+	} else {
+		// Speculative affirm (Equations 10–14).
+		a.claimed = true
+		a.status = SpecAffirmed
+		a.affirmer = cur.id
+		repl := cur.ido.Clone()
+		repl.Remove(x)
+		a.replacement = repl
+		cur.specAffirmed.Add(x)
+		t.stats.SpecAffirms++
+		idoSnap := cur.ido.Clone()
+		for _, bID := range a.dom.Elems() {
+			b := t.intervals[bID]
+			if b == nil || b.status != speculative {
+				continue
+			}
+			for _, y := range idoSnap.Elems() {
+				if y == x {
+					continue
+				}
+				if b.ido.Add(y) {
+					t.aidLocked(y).dom.Add(bID)
+				}
+			}
+			b.ido.Remove(x)
+			a.dom.Remove(bID)
+			if b.ido.Empty() {
+				t.finalizeLocked(b, ctx)
+			}
+		}
+	}
+	return nil
+}
+
+// Deny executes deny(X) for process p (Section 5.3, Equations 15–16).
+func (t *Tracker) Deny(p ids.Proc, x ids.AID) error {
+	t.mu.Lock()
+	ps, err := t.procLocked(p)
+	if err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	if ps.pending != nil {
+		t.mu.Unlock()
+		return ErrRolledBack
+	}
+	ctx := newOpCtx()
+	err = t.denyLocked(ps, x, ctx)
+	t.mu.Unlock()
+	t.finish(ctx)
+	return err
+}
+
+func (t *Tracker) denyLocked(ps *procState, x ids.AID, ctx *opCtx) error {
+	a := t.aidLocked(x)
+	switch {
+	case a.status == Denied || (a.claimed && a.status == Unresolved):
+		return nil // redundant (§5.2)
+	case a.status == Affirmed || a.status == SpecAffirmed:
+		return ErrConflict
+	}
+
+	ctx.resolved = true
+	cur := ps.current()
+	if cur == nil || cur.ido.Has(x) {
+		// Definite deny (Equation 15).
+		a.claimed = true
+		a.status = Denied
+		t.stats.DefiniteDenies++
+		t.rollbackDependentsLocked(a, ctx)
+	} else {
+		// Speculative deny (Equation 16).
+		a.claimed = true
+		a.claimedBy = cur.id
+		cur.ihd.Add(x)
+		t.stats.SpecDenies++
+	}
+	return nil
+}
+
+// FreeOf executes free_of(X) for process p (Section 5.4, Equations 17–19),
+// atomically: the dependence test and the induced affirm/deny happen in
+// one critical section.
+func (t *Tracker) FreeOf(p ids.Proc, x ids.AID) error {
+	t.mu.Lock()
+	ps, err := t.procLocked(p)
+	if err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	if ps.pending != nil {
+		t.mu.Unlock()
+		return ErrRolledBack
+	}
+	t.stats.FreeOfs++
+	ctx := newOpCtx()
+	a := t.aidLocked(x)
+	if a.status == Denied {
+		// Re-execution after the constraint violation was handled.
+		t.mu.Unlock()
+		return nil
+	}
+	cur := ps.current()
+	if cur != nil && cur.ido.Has(x) {
+		err = t.denyLocked(ps, x, ctx) // Equation 19 (definite: X ∈ A.IDO)
+	} else {
+		err = t.affirmLocked(ps, x, ctx) // Equations 17–18
+	}
+	t.mu.Unlock()
+	t.finish(ctx)
+	return err
+}
+
+// AttachEffect registers commit/abort callbacks on p's current interval.
+// If p is definite the effect is immediate: commit runs before the call
+// returns and abort is discarded.
+func (t *Tracker) AttachEffect(p ids.Proc, commit, abort func()) error {
+	t.mu.Lock()
+	ps, ok := t.procs[p]
+	if !ok {
+		t.mu.Unlock()
+		return ErrUnknownProc
+	}
+	if ps.pending != nil {
+		t.mu.Unlock()
+		return ErrRolledBack
+	}
+	cur := ps.current()
+	if cur == nil {
+		t.mu.Unlock()
+		if commit != nil {
+			commit()
+		}
+		return nil
+	}
+	if commit != nil {
+		cur.commits = append(cur.commits, commit)
+	}
+	if abort != nil {
+		cur.aborts = append(cur.aborts, abort)
+	}
+	t.mu.Unlock()
+	return nil
+}
+
+// finalizeLocked makes iv definite (Section 5.5, Equations 20–23):
+// pending speculative denies become definite, speculatively affirmed AIDs
+// become affirmed, and buffered effects are queued for release.
+func (t *Tracker) finalizeLocked(iv *intervalState, ctx *opCtx) {
+	if iv.status != speculative {
+		return
+	}
+	iv.status = finalized
+	ctx.resolved = true
+	t.finalizedIvs[iv.id] = true
+	t.stats.Finalized++
+	ps := t.procs[iv.proc]
+	removeInterval(ps, iv)
+
+	for _, x := range iv.specAffirmed.Elems() {
+		a := t.aidLocked(x)
+		if a.status == SpecAffirmed && a.affirmer == iv.id {
+			a.status = Affirmed
+		}
+	}
+	ctx.after = append(ctx.after, iv.commits...)
+	iv.commits, iv.aborts = nil, nil
+	delete(t.intervals, iv.id)
+
+	// Equation 22.
+	for _, x := range iv.ihd.Elems() {
+		a := t.aidLocked(x)
+		if a.status == Denied || a.status == Affirmed {
+			continue
+		}
+		a.status = Denied
+		a.claimedBy = ids.NoInterval
+		t.stats.DefiniteDenies++
+		t.rollbackDependentsLocked(a, ctx)
+	}
+}
+
+// rollbackDependentsLocked applies a definite deny: every interval in
+// X.DOM (and, per Theorem 5.1, every later interval of the same process)
+// is discarded.
+func (t *Tracker) rollbackDependentsLocked(a *aidState, ctx *opCtx) {
+	for _, bID := range a.dom.Elems() {
+		b := t.intervals[bID]
+		if b == nil || b.status != speculative {
+			continue
+		}
+		t.rollbackFromLocked(b, ctx)
+	}
+}
+
+// rollbackFromLocked discards iv and every later speculative interval of
+// its process (Equation 24 + Theorem 5.1), recording the restart target.
+func (t *Tracker) rollbackFromLocked(iv *intervalState, ctx *opCtx) {
+	ps := t.procs[iv.proc]
+	pos := -1
+	for i, b := range ps.live {
+		if b == iv {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return // already discarded by an earlier cascade
+	}
+	suffix := ps.live[pos:]
+	ps.live = ps.live[:pos]
+	for i := len(suffix) - 1; i >= 0; i-- {
+		b := suffix[i]
+		b.status = rolledBack
+		t.stats.RolledBack++
+		for _, x := range b.ido.Elems() {
+			t.aidLocked(x).dom.Remove(b.id)
+		}
+		for _, x := range b.specAffirmed.Elems() {
+			ax := t.aidLocked(x)
+			if ax.status == SpecAffirmed && ax.affirmer == b.id {
+				ax.status = Denied
+				ax.systemDenied = true
+			}
+		}
+		for _, x := range b.ihd.Elems() {
+			ax := t.aidLocked(x)
+			if ax.claimedBy == b.id {
+				ax.claimed = false
+				ax.claimedBy = ids.NoInterval
+			}
+		}
+		// Aborts run newest-first, like deferred compensations.
+		ctx.after = append(ctx.after, b.aborts...)
+		b.commits, b.aborts = nil, nil
+		delete(t.intervals, b.id)
+	}
+	// Merge the target under the tracker lock, in the same critical
+	// section that discarded the intervals: delivery can never race a
+	// later, deeper rollback out of order.
+	tgt := RollbackTarget{LogIndex: iv.logIndex, Implicit: iv.implicit}
+	if ps.pending == nil || tgt.LogIndex < ps.pending.LogIndex {
+		cp := tgt
+		ps.pending = &cp
+	}
+	ctx.notify[iv.proc] = ps.hooks
+}
+
+func removeInterval(ps *procState, iv *intervalState) {
+	for i, b := range ps.live {
+		if b == iv {
+			ps.live = append(ps.live[:i], ps.live[i+1:]...)
+			return
+		}
+	}
+}
+
+// LiveIntervals reports p's speculative interval count (diagnostics).
+func (t *Tracker) LiveIntervals(p ids.Proc) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ps, ok := t.procs[p]
+	if !ok {
+		return 0
+	}
+	return len(ps.live)
+}
+
+// CurrentInterval returns p's current interval, or NoInterval.
+func (t *Tracker) CurrentInterval(p ids.Proc) ids.Interval {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ps, ok := t.procs[p]
+	if !ok {
+		return ids.NoInterval
+	}
+	if cur := ps.current(); cur != nil {
+		return cur.id
+	}
+	return ids.NoInterval
+}

@@ -1,0 +1,542 @@
+// Package tracker is the concurrent dependency-tracking engine of the HOPE
+// runtime: the same interval/AID algebra as internal/semantics (Equations
+// 1–24 of the paper), re-implemented behind a mutex for use by many
+// goroutine processes at once.
+//
+// Where the semantics machine owns whole process states (program counters,
+// variables, mailboxes), the tracker owns only the speculation metadata:
+// which intervals exist, what they depend on (IDO), who depends on each
+// assumption (DOM), pending speculative denies (IHD), and the effects to
+// release or abort when an interval settles. Restoring a process's control
+// and data state is the runtime's job (internal/engine does it by replay);
+// the tracker tells it where to restart via the RequestRollback hook.
+//
+// Concurrency contract, matching the paper's §7 claim that dependency
+// tracking never makes a user process wait for another's progress: every
+// exported method completes under one short critical section — no method
+// blocks on user code or on another process. Settlement callbacks (effect
+// commits/aborts, rollback requests) are invoked after the lock is
+// released.
+package tracker
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"hope/internal/ids"
+	"hope/internal/sets"
+)
+
+// Resolution is an assumption's lifecycle state (see
+// semantics.Resolution; duplicated here so the runtime layers do not
+// depend on the model-checking layer).
+type Resolution int
+
+const (
+	// Unresolved: neither affirmed nor denied yet.
+	Unresolved Resolution = iota + 1
+	// Affirmed: definitively true.
+	Affirmed
+	// SpecAffirmed: affirmed by a still-speculative interval.
+	SpecAffirmed
+	// Denied: definitively false.
+	Denied
+)
+
+// String names the resolution.
+func (r Resolution) String() string {
+	switch r {
+	case Unresolved:
+		return "unresolved"
+	case Affirmed:
+		return "affirmed"
+	case SpecAffirmed:
+		return "spec-affirmed"
+	case Denied:
+		return "denied"
+	default:
+		return "invalid"
+	}
+}
+
+// ErrConflict reports an affirm applied to a denied assumption or vice
+// versa — the §5.2 user error.
+var ErrConflict = errors.New("hope: conflicting affirm/deny on one assumption")
+
+// ErrUnknownProc reports an operation naming an unregistered process.
+var ErrUnknownProc = errors.New("hope: unknown process")
+
+// ErrRolledBack reports that the calling process has a pending rollback:
+// the operation belongs to a doomed continuation and must not take
+// effect. The runtime converts this into the rollback itself. Checking
+// inside the tracker's critical section — where rollback targets are
+// merged — leaves no window in which a doomed continuation can create
+// intervals or emit cleanly-tagged messages.
+var ErrRolledBack = errors.New("hope: process has a pending rollback")
+
+// RollbackTarget tells a process where to restart after rollback.
+type RollbackTarget struct {
+	// LogIndex is the replay-log index of the event that opened the
+	// earliest rolled-back interval (supplied by the runtime at Guess or
+	// Deliver time).
+	LogIndex int
+	// Implicit reports whether that event was a tagged message delivery
+	// (re-execute the receive) rather than an explicit guess (resume
+	// after the guess with a False result).
+	Implicit bool
+}
+
+// Hooks is how the tracker calls back into the runtime. Implementations
+// must be safe to call from any goroutine and must not call back into the
+// tracker. Hook invocations happen outside the tracker's critical
+// section.
+type Hooks interface {
+	// NotifyRollback tells the process a rollback target is pending for
+	// it (retrievable via TakePending). It may be invoked while the
+	// process is running, blocked, or parked after completion.
+	NotifyRollback()
+}
+
+// Stats counts tracker activity for benchmarks and experiments.
+type Stats struct {
+	Guesses         int64 // explicit guesses that opened an interval
+	ShortGuesses    int64 // guesses short-circuited on resolved AIDs
+	ImplicitGuesses int64 // intervals opened by tagged message delivery
+	DefiniteAffirms int64
+	SpecAffirms     int64
+	DefiniteDenies  int64
+	SpecDenies      int64
+	FreeOfs         int64
+	Finalized       int64 // intervals made definite
+	RolledBack      int64 // intervals discarded
+	Orphans         int64 // orphaned tag sets observed at delivery
+}
+
+type aidState struct {
+	id           ids.AID
+	dom          *sets.Set[ids.Interval]
+	status       Resolution
+	affirmer     ids.Interval
+	replacement  *sets.Set[ids.AID]
+	claimed      bool
+	claimedBy    ids.Interval
+	systemDenied bool
+}
+
+type intervalState struct {
+	id           ids.Interval
+	proc         ids.Proc
+	logIndex     int
+	implicit     bool
+	ido          *sets.Set[ids.AID]
+	ihd          *sets.Set[ids.AID]
+	specAffirmed *sets.Set[ids.AID]
+	status       status
+	commits      []func()
+	aborts       []func()
+}
+
+type status int
+
+const (
+	speculative status = iota + 1
+	finalized
+	rolledBack
+)
+
+type procState struct {
+	id    ids.Proc
+	hooks Hooks
+	// live is the chain of speculative intervals in creation order; the
+	// last element is the current interval (the I control variable).
+	live []*intervalState
+	// pending is the earliest unapplied rollback target for this
+	// process. It is merged under the tracker lock — inside the same
+	// critical section that discards the intervals — so targets can
+	// never be observed out of order with the interval state they
+	// describe (Theorem 5.1 makes the minimum the correct merge).
+	pending *RollbackTarget
+}
+
+func (p *procState) current() *intervalState {
+	if len(p.live) == 0 {
+		return nil
+	}
+	return p.live[len(p.live)-1]
+}
+
+// Tracker is the shared dependency-tracking state for one Runtime.
+// The zero value is not usable; call New.
+type Tracker struct {
+	mu        sync.Mutex
+	gen       ids.Gen
+	aids      map[ids.AID]*aidState
+	intervals map[ids.Interval]*intervalState
+	procs     map[ids.Proc]*procState
+	stats     Stats
+	watcher   func()
+	// finalizedIvs records intervals made definite, for the engine's
+	// requeue-sanity assertion (a finalized receive must never be
+	// redelivered).
+	finalizedIvs map[ids.Interval]bool
+}
+
+// New returns an empty tracker.
+func New() *Tracker {
+	return &Tracker{
+		aids:         make(map[ids.AID]*aidState),
+		intervals:    make(map[ids.Interval]*intervalState),
+		procs:        make(map[ids.Proc]*procState),
+		finalizedIvs: make(map[ids.Interval]bool),
+	}
+}
+
+// Register adds a process. The returned identifier names it in all
+// subsequent calls.
+func (t *Tracker) Register(hooks Hooks) ids.Proc {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := t.gen.NextProc()
+	t.procs[id] = &procState{id: id, hooks: hooks}
+	return id
+}
+
+// NewAID allocates a fresh assumption identifier.
+func (t *Tracker) NewAID() ids.AID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a := t.gen.NextAID()
+	t.aids[a] = &aidState{id: a, dom: sets.New[ids.Interval](), status: Unresolved}
+	return a
+}
+
+// Stats returns a copy of the activity counters.
+func (t *Tracker) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// Status returns the resolution state of x.
+func (t *Tracker) Status(x ids.AID) Resolution {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a, ok := t.aids[x]
+	if !ok {
+		return Unresolved
+	}
+	return a.status
+}
+
+// Definite reports whether process p currently has no speculative
+// intervals (the paper's Si.I = ∅).
+func (t *Tracker) Definite(p ids.Proc) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ps, ok := t.procs[p]
+	return ok && len(ps.live) == 0
+}
+
+// Tag returns the sending process's current dependency set — the message
+// tag of §3. The result is a fresh slice. It returns ErrRolledBack when
+// the process has a pending rollback: a send from a doomed continuation
+// would otherwise escape orphaning by carrying post-rollback tags.
+func (t *Tracker) Tag(p ids.Proc) ([]ids.AID, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ps, ok := t.procs[p]
+	if !ok {
+		return nil, ErrUnknownProc
+	}
+	if ps.pending != nil {
+		return nil, ErrRolledBack
+	}
+	if cur := ps.current(); cur != nil {
+		return cur.ido.Elems(), nil
+	}
+	return nil, nil
+}
+
+// Orphaned reports whether a message with these tags is an orphan: some
+// transitively resolved tag AID is denied.
+func (t *Tracker) Orphaned(tags []ids.AID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, orphan := t.resolveDepsLocked(tags)
+	return orphan
+}
+
+// Settled classifies a tag set: settled means every transitive dependency
+// is definitively affirmed; orphan means some dependency is denied.
+// Neither means the set is still speculative.
+func (t *Tracker) Settled(tags []ids.AID) (settled, orphan bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	deps, orphan := t.resolveDepsLocked(tags)
+	if orphan {
+		return false, true
+	}
+	return deps.Empty(), false
+}
+
+// SetResolutionWatcher installs a callback invoked (outside the tracker
+// lock) after any operation that resolves assumptions or settles
+// intervals — the signal pessimistic receivers (engine.RecvSettled) wait
+// on.
+func (t *Tracker) SetResolutionWatcher(fn func()) {
+	t.mu.Lock()
+	t.watcher = fn
+	t.mu.Unlock()
+}
+
+// opCtx accumulates the settlement callbacks of one logical operation so
+// they can run after the critical section.
+type opCtx struct {
+	notify map[ids.Proc]Hooks
+	after  []func()
+	// resolved marks that some assumption's resolution state changed, so
+	// the resolution watcher must fire.
+	resolved bool
+}
+
+func newOpCtx() *opCtx {
+	return &opCtx{notify: make(map[ids.Proc]Hooks)}
+}
+
+// finish delivers rollback notifications and runs queued effects, outside
+// the lock.
+func (t *Tracker) finish(ctx *opCtx) {
+	for _, h := range ctx.notify {
+		if h != nil {
+			h.NotifyRollback()
+		}
+	}
+	for _, f := range ctx.after {
+		f()
+	}
+	if ctx.resolved {
+		t.mu.Lock()
+		w := t.watcher
+		t.mu.Unlock()
+		if w != nil {
+			w()
+		}
+	}
+}
+
+// PendingRollback reports whether a rollback target is pending for p.
+func (t *Tracker) PendingRollback(p ids.Proc) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ps, ok := t.procs[p]
+	return ok && ps.pending != nil
+}
+
+// TakePending pops and returns p's pending rollback target, or nil.
+func (t *Tracker) TakePending(p ids.Proc) *RollbackTarget {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ps, ok := t.procs[p]
+	if !ok || ps.pending == nil {
+		return nil
+	}
+	tgt := ps.pending
+	ps.pending = nil
+	return tgt
+}
+
+// resolveDepsLocked expands tags transitively through speculative affirms
+// (Lemma 6.1), exactly as the semantics machine does.
+func (t *Tracker) resolveDepsLocked(tags []ids.AID) (*sets.Set[ids.AID], bool) {
+	deps := sets.New[ids.AID]()
+	seen := sets.New[ids.AID]()
+	var visit func(x ids.AID) bool
+	visit = func(x ids.AID) bool {
+		if !seen.Add(x) {
+			return true
+		}
+		a, ok := t.aids[x]
+		if !ok {
+			return true
+		}
+		switch a.status {
+		case Unresolved:
+			deps.Add(x)
+		case Affirmed:
+		case Denied:
+			return false
+		case SpecAffirmed:
+			for _, y := range a.replacement.Elems() {
+				if !visit(y) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, x := range tags {
+		if !visit(x) {
+			return nil, true
+		}
+	}
+	return deps, false
+}
+
+func (t *Tracker) procLocked(p ids.Proc) (*procState, error) {
+	ps, ok := t.procs[p]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownProc, p)
+	}
+	return ps, nil
+}
+
+func (t *Tracker) aidLocked(x ids.AID) *aidState {
+	a, ok := t.aids[x]
+	if !ok {
+		a = &aidState{id: x, dom: sets.New[ids.Interval](), status: Unresolved}
+		t.aids[x] = a
+	}
+	return a
+}
+
+// openIntervalLocked creates a speculative interval for p (Equations 1–5;
+// the PS checkpoint is the runtime's logIndex).
+func (t *Tracker) openIntervalLocked(ps *procState, logIndex int, implicit bool, deps *sets.Set[ids.AID]) *intervalState {
+	iv := &intervalState{
+		id:           t.gen.NextInterval(),
+		proc:         ps.id,
+		logIndex:     logIndex,
+		implicit:     implicit,
+		ido:          sets.New[ids.AID](),
+		ihd:          sets.New[ids.AID](),
+		specAffirmed: sets.New[ids.AID](),
+		status:       speculative,
+	}
+	t.intervals[iv.id] = iv
+	// Equation 3: inherit the enclosing interval's dependencies.
+	if cur := ps.current(); cur != nil {
+		t.dependLocked(iv, cur.ido)
+	}
+	t.dependLocked(iv, deps)
+	ps.live = append(ps.live, iv)
+	return iv
+}
+
+// dependLocked maintains the Lemma 5.1 symmetry (Equations 3 and 4).
+func (t *Tracker) dependLocked(iv *intervalState, deps *sets.Set[ids.AID]) {
+	for _, x := range deps.Elems() {
+		if iv.ido.Add(x) {
+			t.aidLocked(x).dom.Add(iv.id)
+		}
+	}
+}
+
+// DebugDump renders the full dependency state — every unresolved or
+// interesting assumption with its DOM, and every live interval with its
+// IDO — for diagnosing wedged systems. Diagnostic use only.
+func (t *Tracker) DebugDump() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var b []byte
+	add := func(s string) { b = append(b, s...) }
+	aids := make([]ids.AID, 0, len(t.aids))
+	for id := range t.aids {
+		aids = append(aids, id)
+	}
+	sort.Slice(aids, func(i, j int) bool { return aids[i] < aids[j] })
+	for _, id := range aids {
+		a := t.aids[id]
+		if a.status == Affirmed && a.dom.Empty() {
+			continue // committed and drained: boring
+		}
+		add(fmt.Sprintf("  %v: %v dom=%v", a.id, a.status, a.dom))
+		if a.status == SpecAffirmed {
+			add(fmt.Sprintf(" affirmer=%v repl=%v", a.affirmer, a.replacement))
+		}
+		if a.systemDenied {
+			add(" (system)")
+		}
+		add("\n")
+	}
+	procs := make([]ids.Proc, 0, len(t.procs))
+	for id := range t.procs {
+		procs = append(procs, id)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	for _, id := range procs {
+		ps := t.procs[id]
+		if len(ps.live) == 0 {
+			continue
+		}
+		add(fmt.Sprintf("  %v live:", id))
+		for _, iv := range ps.live {
+			add(fmt.Sprintf(" %v@log%d(ido=%v ihd=%v)", iv.id, iv.logIndex, iv.ido, iv.ihd))
+		}
+		add("\n")
+	}
+	return string(b)
+}
+
+// CheckInvariants verifies the tracker's internal consistency — the
+// runtime-layer form of the paper's structural invariants:
+//
+//   - Lemma 5.1 symmetry: X ∈ A.IDO ⟺ A ∈ X.DOM, both directions;
+//   - resolved assumptions have drained DOM sets (Equations 9/14 and
+//     rollback withdrawal);
+//   - every live interval is speculative with a non-empty IDO
+//     (Equation 20's contrapositive);
+//   - per-process live chains have subset-ordered IDO sets (the heart of
+//     Theorem 5.1).
+//
+// Intended for tests and diagnostics; takes the tracker lock.
+func (t *Tracker) CheckInvariants() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	for _, iv := range t.intervals {
+		if iv.status != speculative {
+			return fmt.Errorf("retained interval %v has status %d", iv.id, iv.status)
+		}
+		if iv.ido.Empty() {
+			return fmt.Errorf("speculative interval %v has empty IDO (Equation 20)", iv.id)
+		}
+		for _, x := range iv.ido.Elems() {
+			a, ok := t.aids[x]
+			if !ok || !a.dom.Has(iv.id) {
+				return fmt.Errorf("lemma 5.1: %v ∈ %v.IDO but %v ∉ %v.DOM", x, iv.id, iv.id, x)
+			}
+		}
+	}
+	for _, a := range t.aids {
+		if a.status != Unresolved && !a.dom.Empty() {
+			return fmt.Errorf("resolved %v (%v) retains DOM %v", a.id, a.status, a.dom)
+		}
+		for _, ivID := range a.dom.Elems() {
+			iv, ok := t.intervals[ivID]
+			if !ok {
+				return fmt.Errorf("%v.DOM references unknown interval %v", a.id, ivID)
+			}
+			if !iv.ido.Has(a.id) {
+				return fmt.Errorf("lemma 5.1: %v ∈ %v.DOM but %v ∉ %v.IDO", ivID, a.id, a.id, ivID)
+			}
+		}
+	}
+	for _, ps := range t.procs {
+		for i := 1; i < len(ps.live); i++ {
+			prev, cur := ps.live[i-1], ps.live[i]
+			if !prev.ido.SubsetOf(cur.ido) {
+				return fmt.Errorf("theorem 5.1: %v.IDO ⊄ %v.IDO in %v", prev.id, cur.id, ps.id)
+			}
+		}
+	}
+	return nil
+}
+
+// WasFinalized reports whether iv was made definite at some point.
+func (t *Tracker) WasFinalized(iv ids.Interval) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.finalizedIvs[iv]
+}

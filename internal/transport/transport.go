@@ -1,0 +1,96 @@
+// Package transport provides latency models for the HOPE runtime — the
+// "simulated network" half of the PVM substitution described in
+// DESIGN.md. Each constructor returns an engine.LatencyFunc; models
+// compose so an experiment can say, e.g., "5 ms base with 1 ms jitter,
+// but the stable-storage link is 4× slower".
+//
+// Jittered models draw from a deterministic per-runtime source keyed by
+// message count, so a run's latencies are reproducible given the same
+// message order. The engine chains deliveries FIFO per directed link, so
+// jitter can never reorder a link's messages.
+package transport
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"hope/internal/engine"
+)
+
+// Fixed returns a uniform one-way latency for every link.
+func Fixed(d time.Duration) engine.LatencyFunc {
+	return func(from, to string) time.Duration { return d }
+}
+
+// Jitter adds a uniform random extra delay in [0, spread) to base,
+// drawn deterministically from seed in call order.
+func Jitter(base, spread time.Duration, seed int64) engine.LatencyFunc {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	if spread <= 0 {
+		return Fixed(base)
+	}
+	return func(from, to string) time.Duration {
+		mu.Lock()
+		defer mu.Unlock()
+		return base + time.Duration(rng.Int63n(int64(spread)))
+	}
+}
+
+// Asymmetric uses forward for links where from < to lexicographically and
+// reverse otherwise — a quick way to model slow-uplink topologies.
+func Asymmetric(forward, reverse time.Duration) engine.LatencyFunc {
+	return func(from, to string) time.Duration {
+		if from < to {
+			return forward
+		}
+		return reverse
+	}
+}
+
+// Matrix looks up per-link latencies by exact (from, to) pair, falling
+// back to a default. Entries are copied.
+func Matrix(def time.Duration, entries map[[2]string]time.Duration) engine.LatencyFunc {
+	cp := make(map[[2]string]time.Duration, len(entries))
+	for k, v := range entries {
+		cp[k] = v
+	}
+	return func(from, to string) time.Duration {
+		if d, ok := cp[[2]string{from, to}]; ok {
+			return d
+		}
+		return def
+	}
+}
+
+// SlowLinkTo multiplies the base model's latency for messages addressed
+// to destinations with the given name prefix — e.g. a distant
+// stable-storage or a transcontinental server.
+func SlowLinkTo(base engine.LatencyFunc, destPrefix string, factor int) engine.LatencyFunc {
+	if factor < 1 {
+		factor = 1
+	}
+	return func(from, to string) time.Duration {
+		d := base(from, to)
+		if strings.HasPrefix(to, destPrefix) {
+			return d * time.Duration(factor)
+		}
+		return d
+	}
+}
+
+// LAN returns a typical local-network profile: 200 µs ± 100 µs.
+func LAN(seed int64) engine.LatencyFunc {
+	return Jitter(200*time.Microsecond, 100*time.Microsecond, seed)
+}
+
+// WAN returns a typical wide-area profile: 15 ms ± 3 ms — the paper's
+// transcontinental one-way photon time with queueing jitter.
+func WAN(seed int64) engine.LatencyFunc {
+	return Jitter(15*time.Millisecond, 3*time.Millisecond, seed)
+}
+
+// Local returns zero latency (synchronous delivery).
+func Local() engine.LatencyFunc { return nil }

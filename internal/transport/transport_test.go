@@ -1,0 +1,153 @@
+package transport
+
+import (
+	"io"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hope/internal/engine"
+)
+
+func TestFixed(t *testing.T) {
+	f := Fixed(3 * time.Millisecond)
+	if f("a", "b") != 3*time.Millisecond || f("x", "y") != 3*time.Millisecond {
+		t.Fatal("Fixed not uniform")
+	}
+}
+
+func TestJitterRangeAndDeterminism(t *testing.T) {
+	mk := func() []time.Duration {
+		f := Jitter(time.Millisecond, time.Millisecond, 42)
+		out := make([]time.Duration, 50)
+		for i := range out {
+			out[i] = f("a", "b")
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	varied := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("jitter not deterministic per seed")
+		}
+		if a[i] < time.Millisecond || a[i] >= 2*time.Millisecond {
+			t.Fatalf("jitter out of range: %v", a[i])
+		}
+		if a[i] != a[0] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jitter produced constant latency")
+	}
+}
+
+func TestJitterZeroSpreadIsFixed(t *testing.T) {
+	f := Jitter(2*time.Millisecond, 0, 1)
+	if f("a", "b") != 2*time.Millisecond {
+		t.Fatal("zero-spread jitter should be the base")
+	}
+}
+
+func TestAsymmetric(t *testing.T) {
+	f := Asymmetric(time.Millisecond, 5*time.Millisecond)
+	if f("a", "b") != time.Millisecond {
+		t.Fatal("forward direction wrong")
+	}
+	if f("b", "a") != 5*time.Millisecond {
+		t.Fatal("reverse direction wrong")
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	f := Matrix(time.Millisecond, map[[2]string]time.Duration{
+		{"client", "server"}: 7 * time.Millisecond,
+	})
+	if f("client", "server") != 7*time.Millisecond {
+		t.Fatal("matrix entry not used")
+	}
+	if f("server", "client") != time.Millisecond {
+		t.Fatal("default not used")
+	}
+}
+
+func TestSlowLinkTo(t *testing.T) {
+	f := SlowLinkTo(Fixed(time.Millisecond), "stable", 4)
+	if f("w", "stable") != 4*time.Millisecond {
+		t.Fatal("slow link factor not applied")
+	}
+	if f("w", "stable-2") != 4*time.Millisecond {
+		t.Fatal("prefix match expected")
+	}
+	if f("w", "other") != time.Millisecond {
+		t.Fatal("other links must be unscaled")
+	}
+	if g := SlowLinkTo(Fixed(time.Millisecond), "x", 0); g("a", "x") != time.Millisecond {
+		t.Fatal("factor < 1 should clamp to 1")
+	}
+}
+
+func TestProfilesInRange(t *testing.T) {
+	lan := LAN(1)
+	for i := 0; i < 20; i++ {
+		if d := lan("a", "b"); d < 200*time.Microsecond || d >= 300*time.Microsecond {
+			t.Fatalf("LAN latency %v out of profile", d)
+		}
+	}
+	wan := WAN(1)
+	for i := 0; i < 20; i++ {
+		if d := wan("a", "b"); d < 15*time.Millisecond || d >= 18*time.Millisecond {
+			t.Fatalf("WAN latency %v out of profile", d)
+		}
+	}
+	if Local() != nil {
+		t.Fatal("Local should be nil (synchronous)")
+	}
+}
+
+// TestJitterPreservesFIFOOnEngine exercises the engine's per-link FIFO
+// chaining under heavy jitter: 50 sequenced messages must arrive in send
+// order.
+func TestJitterPreservesFIFOOnEngine(t *testing.T) {
+	rt := engine.New(
+		engine.WithOutput(io.Discard),
+		engine.WithLatency(Jitter(100*time.Microsecond, 2*time.Millisecond, 9)),
+	)
+	defer rt.Shutdown()
+	var bad atomic.Bool
+	done := make(chan struct{})
+	if err := rt.Spawn("sink", func(p *engine.Proc) error {
+		for i := 0; i < 50; i++ {
+			m, err := p.Recv()
+			if err != nil {
+				return err
+			}
+			if m.Payload.(int) != i {
+				bad.Store(true)
+			}
+		}
+		close(done)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Spawn("src", func(p *engine.Proc) error {
+		for i := 0; i < 50; i++ {
+			if err := p.Send("sink", i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("timed out")
+	}
+	if bad.Load() {
+		t.Fatal("jitter reordered a FIFO link")
+	}
+}

@@ -1,0 +1,98 @@
+// Package vclock implements vector clocks: the causal-ordering metadata
+// used by the optimistic message-logging recovery substrate
+// (internal/recovery) and by trace validation.
+//
+// The paper's dependency tracking generalizes the transitive-dependency
+// vectors of optimistic recovery [Strom & Yemini 1985]; this package
+// provides the classic form so the recovery substrate can be expressed in
+// the terms that literature uses, and so traces can be checked for causal
+// consistency independently of the HOPE tracker.
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// VC is a vector clock: a map from process name to the count of events of
+// that process known to have causally preceded the carrier. The zero
+// value (nil map inside) is a valid, empty clock; use New or let methods
+// allocate lazily.
+type VC struct {
+	counts map[string]uint64
+}
+
+// New returns an empty vector clock.
+func New() VC { return VC{counts: make(map[string]uint64)} }
+
+// Clone returns an independent copy.
+func (v VC) Clone() VC {
+	out := VC{counts: make(map[string]uint64, len(v.counts))}
+	for k, c := range v.counts {
+		out.counts[k] = c
+	}
+	return out
+}
+
+// Get returns the component for proc (0 if absent).
+func (v VC) Get(proc string) uint64 { return v.counts[proc] }
+
+// Tick increments proc's component, returning the updated clock. The
+// receiver is mutated (allocating if needed) and returned for chaining.
+func (v *VC) Tick(proc string) VC {
+	if v.counts == nil {
+		v.counts = make(map[string]uint64)
+	}
+	v.counts[proc]++
+	return *v
+}
+
+// Merge folds other into v component-wise by max — the receive rule.
+func (v *VC) Merge(other VC) VC {
+	if v.counts == nil {
+		v.counts = make(map[string]uint64, len(other.counts))
+	}
+	for k, c := range other.counts {
+		if c > v.counts[k] {
+			v.counts[k] = c
+		}
+	}
+	return *v
+}
+
+// LEQ reports v ≤ other: every component of v is ≤ the corresponding
+// component of other. This is the "happened-before-or-equal" test.
+func (v VC) LEQ(other VC) bool {
+	for k, c := range v.counts {
+		if c > other.counts[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Before reports v < other: v ≤ other and they differ.
+func (v VC) Before(other VC) bool { return v.LEQ(other) && !other.LEQ(v) }
+
+// Concurrent reports that neither clock happened before the other.
+func (v VC) Concurrent(other VC) bool { return !v.LEQ(other) && !other.LEQ(v) }
+
+// Equal reports component-wise equality (absent components are zero).
+func (v VC) Equal(other VC) bool { return v.LEQ(other) && other.LEQ(v) }
+
+// String renders the clock deterministically, e.g. {P1:3, P2:1}.
+func (v VC) String() string {
+	keys := make([]string, 0, len(v.counts))
+	for k, c := range v.counts {
+		if c > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s:%d", k, v.counts[k]))
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,89 @@
+// Package workload generates the deterministic synthetic workloads the
+// experiments sweep over: guess-accuracy traces for Call Streaming
+// (E1/E3), Zipf-distributed key traces for optimistic replication (E7),
+// and print-job streams modeled on the paper's Figure 1 (E1).
+//
+// All generators are pure functions of a seed, so experiment runs are
+// reproducible.
+package workload
+
+import (
+	"math/rand"
+)
+
+// AccuracyTrace returns n booleans where each is true with probability
+// accuracy — the per-call prediction outcomes for a streamed-RPC client.
+func AccuracyTrace(n int, accuracy float64, seed int64) []bool {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = rng.Float64() < accuracy
+	}
+	return out
+}
+
+// ZipfKeys returns n keys drawn from a Zipf distribution over
+// [0, keyspace) with exponent s (s > 1; 1.07 approximates many caching
+// workloads). Low indexes are hot.
+func ZipfKeys(n, keyspace int, s float64, seed int64) []int {
+	if s <= 1 {
+		s = 1.07
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(keyspace-1))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(z.Uint64())
+	}
+	return out
+}
+
+// PrintJob is one Figure-1 job: print a total, then a summary; the page
+// overflows when Lines pushes the position past the page size.
+type PrintJob struct {
+	// Lines is the number of lines the total print advances.
+	Lines int
+	// Overflow reports whether this job crosses the page boundary (the
+	// PartPage assumption fails).
+	Overflow bool
+}
+
+// PrintJobs generates n jobs where each overflows with probability
+// pOverflow, against a page of pageSize lines.
+func PrintJobs(n, pageSize int, pOverflow float64, seed int64) []PrintJob {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]PrintJob, n)
+	for i := range out {
+		over := rng.Float64() < pOverflow
+		lines := 1 + rng.Intn(pageSize-1) // stays on the page
+		if over {
+			lines = pageSize + rng.Intn(pageSize) // crosses it
+		}
+		out[i] = PrintJob{Lines: lines, Overflow: over}
+	}
+	return out
+}
+
+// ConflictSchedule returns n booleans marking which writes of a client
+// collide with a concurrent writer (probability conflictRate).
+func ConflictSchedule(n int, conflictRate float64, seed int64) []bool {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = rng.Float64() < conflictRate
+	}
+	return out
+}
+
+// Fractions counts the true entries in a schedule.
+func Fractions(xs []bool) (trues int, ratio float64) {
+	for _, x := range xs {
+		if x {
+			trues++
+		}
+	}
+	if len(xs) > 0 {
+		ratio = float64(trues) / float64(len(xs))
+	}
+	return trues, ratio
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccuracyTraceRate(t *testing.T) {
+	for _, acc := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		trace := AccuracyTrace(10_000, acc, 1)
+		n, ratio := Fractions(trace)
+		if math.Abs(ratio-acc) > 0.03 {
+			t.Errorf("accuracy %.2f: observed %.3f (%d)", acc, ratio, n)
+		}
+	}
+}
+
+func TestAccuracyTraceDeterministic(t *testing.T) {
+	a := AccuracyTrace(100, 0.5, 7)
+	b := AccuracyTrace(100, 0.5, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("trace not deterministic per seed")
+	}
+	c := AccuracyTrace(100, 0.5, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestZipfKeysSkewAndRange(t *testing.T) {
+	keys := ZipfKeys(20_000, 100, 1.2, 3)
+	counts := make([]int, 100)
+	for _, k := range keys {
+		if k < 0 || k >= 100 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Zipf: key 0 should dominate the tail.
+	tail := 0
+	for _, c := range counts[50:] {
+		tail += c
+	}
+	if counts[0] <= tail/10 {
+		t.Errorf("no skew: counts[0]=%d tail=%d", counts[0], tail)
+	}
+}
+
+func TestZipfBadExponentDefaults(t *testing.T) {
+	keys := ZipfKeys(10, 10, 0.5, 1) // s ≤ 1 falls back to 1.07
+	if len(keys) != 10 {
+		t.Fatalf("len = %d", len(keys))
+	}
+}
+
+func TestPrintJobsShape(t *testing.T) {
+	const pageSize = 50
+	jobs := PrintJobs(5_000, pageSize, 0.3, 9)
+	over, ratio := Fractions(mapJobs(jobs))
+	if math.Abs(ratio-0.3) > 0.03 {
+		t.Errorf("overflow rate = %.3f (%d), want ≈0.30", ratio, over)
+	}
+	for _, j := range jobs {
+		if j.Overflow && j.Lines < pageSize {
+			t.Fatalf("overflow job with %d lines < page %d", j.Lines, pageSize)
+		}
+		if !j.Overflow && j.Lines >= pageSize {
+			t.Fatalf("non-overflow job with %d lines ≥ page %d", j.Lines, pageSize)
+		}
+		if j.Lines < 1 {
+			t.Fatalf("job with %d lines", j.Lines)
+		}
+	}
+}
+
+func mapJobs(jobs []PrintJob) []bool {
+	out := make([]bool, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Overflow
+	}
+	return out
+}
+
+func TestConflictSchedule(t *testing.T) {
+	sched := ConflictSchedule(10_000, 0.15, 2)
+	_, ratio := Fractions(sched)
+	if math.Abs(ratio-0.15) > 0.02 {
+		t.Errorf("conflict rate = %.3f, want ≈0.15", ratio)
+	}
+}
+
+// Property: all generators are seed-deterministic and length-correct.
+func TestQuickGeneratorContracts(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		size := int(n%64) + 1
+		if a, b := AccuracyTrace(size, 0.5, seed), AccuracyTrace(size, 0.5, seed); !reflect.DeepEqual(a, b) || len(a) != size {
+			return false
+		}
+		if a, b := ZipfKeys(size, 32, 1.2, seed), ZipfKeys(size, 32, 1.2, seed); !reflect.DeepEqual(a, b) || len(a) != size {
+			return false
+		}
+		if a, b := PrintJobs(size, 50, 0.4, seed), PrintJobs(size, 50, 0.4, seed); !reflect.DeepEqual(a, b) || len(a) != size {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
