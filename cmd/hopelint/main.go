@@ -1,0 +1,100 @@
+// Command hopelint statically checks HOPE process bodies against the
+// engine's piecewise-determinism contract (see internal/lint and the
+// "The piecewise-determinism contract" section of DESIGN.md).
+//
+// Usage:
+//
+//	go run ./cmd/hopelint [-tests] [packages ...]
+//
+// Each argument is a directory ("./examples/pipeline") or a recursive
+// pattern ("./..."); with no arguments, ./... is linted. Directories
+// named testdata or vendor, and hidden or underscore-prefixed
+// directories, are skipped by recursive patterns, matching the go
+// tool's convention. With -tests, each package's own _test.go files
+// (same-package tests) are analyzed too.
+//
+// Diagnostics are printed one per line as
+//
+//	file:line:col: [rule] message
+//
+// where rule is one of nondeterminism, rawio, capture, conflict. A
+// finding can be suppressed — sparingly, with a reason — by a comment
+// on the same line or the line above:
+//
+//	//hopelint:ignore nondeterminism -- measurement harness
+//
+// Exit codes:
+//
+//	0  no findings
+//	1  at least one finding
+//	2  usage or load error (unparseable package, unresolvable imports)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hope/internal/lint"
+)
+
+func main() {
+	tests := flag.Bool("tests", false, "also analyze each package's own _test.go files")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hopelint [-tests] [packages ...]\n\n"+
+			"Checks HOPE process bodies against the piecewise-determinism contract.\n"+
+			"Packages default to ./... ; see cmd/hopelint/main.go for details.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := lint.ExpandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hopelint: %v\n", err)
+		os.Exit(2)
+	}
+	if len(dirs) == 0 {
+		fmt.Fprintln(os.Stderr, "hopelint: no packages matched")
+		os.Exit(2)
+	}
+
+	loader, err := lint.NewLoader(dirs[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hopelint: %v\n", err)
+		os.Exit(2)
+	}
+
+	// Transitive analysis can surface the same helper-function finding
+	// from several entry packages; report each once.
+	seen := make(map[string]bool)
+	findings := 0
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir, *tests)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hopelint: %v\n", err)
+			os.Exit(2)
+		}
+		diags, err := lint.Analyze(loader, pkg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hopelint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			line := d.String()
+			if seen[line] {
+				continue
+			}
+			seen[line] = true
+			fmt.Println(line)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "hopelint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

@@ -104,8 +104,8 @@ func run(rounds int, latency time.Duration, shared float64, seed int64) error {
 			p.Printf("final %-7s = %d\n", key, v.(int))
 			total += v.(int)
 		}
-		if total != 2*len(schedule(0)) {
-			return fmt.Errorf("lost updates: total %d, want %d", total, 2*len(schedule(0)))
+		if total != 2*rounds {
+			return fmt.Errorf("lost updates: total %d, want %d", total, 2*rounds)
 		}
 		p.Printf("all %d updates accounted for, elapsed %v\n", total, elapsed.Round(time.Millisecond))
 		return nil

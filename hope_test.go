@@ -1,21 +1,20 @@
 package hope_test
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"io"
-	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"hope"
+	"hope/internal/testutil"
 )
 
 // TestPublicAPIQuickstart is the README quickstart, as a test.
 func TestPublicAPIQuickstart(t *testing.T) {
-	var buf lockedBuf
+	var buf testutil.SyncBuffer
 	rt := hope.New(hope.WithOutput(&buf))
 	defer rt.Shutdown()
 
@@ -122,26 +121,9 @@ func TestWithLatencyOption(t *testing.T) {
 	rt.Wait()
 }
 
-type lockedBuf struct {
-	mu sync.Mutex
-	b  bytes.Buffer
-}
-
-func (l *lockedBuf) Write(p []byte) (int, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.b.Write(p)
-}
-
-func (l *lockedBuf) String() string {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.b.String()
-}
-
 // Example demonstrates the guess/affirm flow with buffered output.
 func Example() {
-	var buf lockedBuf
+	var buf testutil.SyncBuffer
 	rt := hope.New(hope.WithOutput(&buf))
 	defer rt.Shutdown()
 

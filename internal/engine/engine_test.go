@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"strings"
@@ -9,32 +8,17 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"hope/internal/testutil"
 )
 
 // newRT builds a runtime writing output into a buffer.
-func newRT(t *testing.T, opts ...Option) (*Runtime, *lockedBuf) {
+func newRT(t *testing.T, opts ...Option) (*Runtime, *testutil.SyncBuffer) {
 	t.Helper()
-	buf := &lockedBuf{}
+	buf := &testutil.SyncBuffer{}
 	rt := New(append([]Option{WithOutput(buf)}, opts...)...)
 	t.Cleanup(rt.Shutdown)
 	return rt, buf
-}
-
-type lockedBuf struct {
-	mu sync.Mutex
-	b  bytes.Buffer
-}
-
-func (l *lockedBuf) Write(p []byte) (int, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.b.Write(p)
-}
-
-func (l *lockedBuf) String() string {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.b.String()
 }
 
 func spawn(t *testing.T, rt *Runtime, name string, body func(*Proc) error) {

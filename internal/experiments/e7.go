@@ -75,8 +75,10 @@ func runReplication(writes int, conflicts []bool, latency time.Duration, optimis
 				}
 			}
 		}
-		optCommits = s.OptimisticCommits
-		conflictCount = s.Conflicts
+		p.Effect(func() {
+			optCommits = s.OptimisticCommits
+			conflictCount = s.Conflicts
+		}, nil)
 		return nil
 	}); err != nil {
 		return 0, 0, 0, err

@@ -1,0 +1,34 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkCapturedWrite flags an assignment whose target is a variable
+// declared outside the function being analyzed. Rollback restores
+// nothing but the log position: a body that writes through a captured
+// variable (or a package-level one) leaks state across re-executions
+// and races with whatever else reads it. Mutable state belongs inside
+// the body; results leave through p.Effect at commit time.
+//
+// Only bare identifiers are checked. Writes through captured pointers,
+// fields, or index expressions are deliberately out of scope: shared
+// structures handed to a body (result slices filled in effect
+// callbacks, sync.Map scoreboards) are the established pattern for
+// collecting output, and flagging them would bury the real findings.
+func (w *walker) checkCapturedWrite(lhs ast.Expr) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj, ok := w.pkg.Info.Uses[id].(*types.Var)
+	if !ok || obj.IsField() {
+		return
+	}
+	if obj.Pos() >= w.fn.Pos() && obj.Pos() < w.fn.End() {
+		return // declared inside the analyzed function
+	}
+	w.a.errorf(id.Pos(), RuleCapture,
+		"assignment to %q, declared outside the process body: rollback cannot undo the write and re-execution repeats it; keep mutable state local to the body, or move the write into p.Effect", id.Name)
+}

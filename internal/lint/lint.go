@@ -1,0 +1,164 @@
+// Package lint statically checks HOPE programs against the engine's
+// piecewise-determinism contract (hope.go; DESIGN.md "The
+// piecewise-determinism contract"). The engine implements rollback by
+// replaying a process body from a log of its Proc interactions, so a
+// body must route all nondeterminism through its *Proc handle and all
+// externally visible actions through Effect/Printf, and must not mutate
+// state shared with other goroutines. A violation surfaces at runtime
+// only as ErrNondeterministic — or as silent divergence on an
+// interleaving the tests never hit. This package finds the common
+// violations at compile time.
+//
+// The linter locates process bodies — function literals, named
+// functions, or method values passed to Runtime.Spawn, and the step
+// functions of hope.Loop / engine.Loop — and walks them transitively:
+// helper functions and methods called from a body are analyzed too,
+// including helpers in other packages of this module (the occ/rpc
+// session helpers run inside their caller's body). Function literals
+// passed to Proc.Effect are exempt: effect callbacks run at
+// commit/abort time, outside the replay machinery, and are the
+// sanctioned way to touch the outside world.
+//
+// Four rules are enforced:
+//
+//   - nondeterminism: wall-clock reads (time.Now/Since/Until), math/rand,
+//     environment reads, map iteration, multi-way select, raw channel
+//     receives, and go statements inside a body.
+//   - rawio: fmt.Print*/os.Stdout/os.Stderr/log/os.File writes inside a
+//     body instead of p.Printf / p.Effect.
+//   - capture: assignments to variables captured from an enclosing
+//     scope — rollback cannot undo writes to shared state.
+//   - conflict: a body that unconditionally both Affirms and Denies the
+//     same assumption value (the paper's §5.2 user error).
+//
+// A diagnostic can be suppressed with a comment on its line or the line
+// above:
+//
+//	//hopelint:ignore nondeterminism -- measurement harness, body never replays
+//
+// The rule list is comma-separated; an empty list ignores every rule.
+// Use it sparingly, with a reason after "--".
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Rule names.
+const (
+	RuleNondeterminism = "nondeterminism"
+	RuleRawIO          = "rawio"
+	RuleCapture        = "capture"
+	RuleConflict       = "conflict"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Analyze lints every process body rooted in pkg and returns the
+// diagnostics, sorted by position. Diagnostics may point into other
+// packages of the module when a body calls helpers there.
+func Analyze(l *Loader, pkg *Package) ([]Diagnostic, error) {
+	a := &analysis{loader: l, visited: make(map[funcKey]bool)}
+	if err := a.run(pkg); err != nil {
+		return nil, err
+	}
+	diags := a.filterIgnored()
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Rule < diags[j].Rule
+	})
+	return diags, nil
+}
+
+// ignoreDirective is the comment prefix of the escape hatch.
+const ignoreDirective = "//hopelint:ignore"
+
+// ignoredRules parses one comment line; ok reports whether it is an
+// ignore directive, and rules holds the named rules (nil = all).
+func ignoredRules(text string) (rules map[string]bool, ok bool) {
+	rest, found := strings.CutPrefix(strings.TrimSpace(text), ignoreDirective)
+	if !found || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return nil, false
+	}
+	// Strip an optional "-- reason" trailer.
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = rest[:i]
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return nil, true // all rules
+	}
+	rules = make(map[string]bool)
+	for _, r := range strings.Split(rest, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			rules[r] = true
+		}
+	}
+	return rules, true
+}
+
+// filterIgnored drops diagnostics suppressed by an ignore directive on
+// the same line or the line directly above, in any analyzed file.
+func (a *analysis) filterIgnored() []Diagnostic {
+	// file → line → rule set (nil entry = all rules ignored).
+	ignores := make(map[string]map[int]map[string]bool)
+	for _, pkg := range a.analyzed {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rules, ok := ignoredRules(c.Text)
+					if !ok {
+						continue
+					}
+					pos := a.loader.Fset.Position(c.Pos())
+					m := ignores[pos.Filename]
+					if m == nil {
+						m = make(map[int]map[string]bool)
+						ignores[pos.Filename] = m
+					}
+					m[pos.Line] = rules
+				}
+			}
+		}
+	}
+	match := func(d Diagnostic, line int) bool {
+		m, ok := ignores[d.Pos.Filename]
+		if !ok {
+			return false
+		}
+		rules, ok := m[line]
+		if !ok {
+			return false
+		}
+		return rules == nil || rules[d.Rule]
+	}
+	var kept []Diagnostic
+	for _, d := range a.diags {
+		if match(d, d.Pos.Line) || match(d, d.Pos.Line-1) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"sync"
+	"testing"
+)
+
+// Golden-file tests: each fixture package under testdata/src marks its
+// expected diagnostics with trailing comments of the form
+//
+//	expr // want `regexp` `another regexp`
+//
+// Every diagnostic must match an unconsumed want on its line, and every
+// want must be matched by exactly one diagnostic.
+
+// sharedLoader caches stdlib type-checking across fixtures; every
+// fixture lives in the same module, so one loader serves them all.
+var sharedLoader = sync.OnceValues(func() (*Loader, error) {
+	return NewLoader("testdata")
+})
+
+var (
+	wantRE    = regexp.MustCompile("//\\s*want\\s+(.*)$")
+	wantArgRE = regexp.MustCompile("`([^`]+)`")
+)
+
+func runFixture(t *testing.T, name string, includeTests bool) {
+	t.Helper()
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := loader.LoadDir(dir, includeTests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Analyze(loader, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	consumed := make(map[key][]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := loader.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				args := wantArgRE.FindAllStringSubmatch(m[1], -1)
+				if len(args) == 0 {
+					t.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+					continue
+				}
+				for _, arg := range args {
+					re, err := regexp.Compile(arg[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern: %v", pos.Filename, pos.Line, err)
+					}
+					wants[k] = append(wants[k], re)
+					consumed[k] = append(consumed[k], false)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if !consumed[k][i] && re.MatchString(d.Message) {
+				consumed[k][i] = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			if !consumed[k][i] {
+				t.Errorf("%s:%d: no diagnostic matched %q", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+func TestNondeterminismRule(t *testing.T) { runFixture(t, "nondet", false) }
+func TestRawIORule(t *testing.T)          { runFixture(t, "rawio", false) }
+func TestCaptureRule(t *testing.T)        { runFixture(t, "capture", false) }
+func TestConflictRule(t *testing.T)       { runFixture(t, "conflict", false) }
+func TestDiscoveryEdgeCases(t *testing.T) { runFixture(t, "edge", false) }
+
+// Test files are excluded by default and analyzed with -tests.
+func TestTestFilesExcludedByDefault(t *testing.T) { runFixture(t, "testmode", false) }
+func TestTestFilesIncluded(t *testing.T)          { runFixture(t, "testmode", true) }
+
+func TestIgnoredRulesParsing(t *testing.T) {
+	cases := []struct {
+		text  string
+		ok    bool
+		rules []string // nil with ok=true means "all rules"
+	}{
+		{"//hopelint:ignore", true, nil},
+		{"//hopelint:ignore -- reason", true, nil},
+		{"//hopelint:ignore rawio", true, []string{"rawio"}},
+		{"//hopelint:ignore rawio,capture -- reason", true, []string{"rawio", "capture"}},
+		{"//hopelint:ignore nondeterminism -- has -- dashes", true, []string{"nondeterminism"}},
+		{"//hopelint:ignorex", false, nil},
+		{"// plain comment", false, nil},
+	}
+	for _, c := range cases {
+		rules, ok := ignoredRules(c.text)
+		if ok != c.ok {
+			t.Errorf("ignoredRules(%q) ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if c.rules == nil {
+			if rules != nil {
+				t.Errorf("ignoredRules(%q) = %v, want all-rules (nil)", c.text, rules)
+			}
+			continue
+		}
+		if len(rules) != len(c.rules) {
+			t.Errorf("ignoredRules(%q) = %v, want %v", c.text, rules, c.rules)
+			continue
+		}
+		for _, r := range c.rules {
+			if !rules[r] {
+				t.Errorf("ignoredRules(%q) missing rule %q", c.text, r)
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// checkRawIOCall flags output that bypasses the effect machinery: text a
+// body prints directly is visible even if the execution rolls back,
+// while p.Printf buffers it until the surrounding window settles.
+func (w *walker) checkRawIOCall(call *ast.CallExpr, callee *types.Func) {
+	// Builtin print/println write straight to stderr.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := w.pkg.Info.Uses[id].(*types.Builtin); ok && (b.Name() == "print" || b.Name() == "println") {
+			w.a.errorf(call.Pos(), RuleRawIO,
+				"builtin %s inside a process body writes to stderr before the outcome settles; use p.Printf", b.Name())
+			return
+		}
+	}
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	name := callee.Name()
+	switch callee.Pkg().Path() {
+	case "fmt":
+		switch {
+		case name == "Print" || name == "Printf" || name == "Println":
+			w.a.errorf(call.Pos(), RuleRawIO,
+				"call to fmt.%s inside a process body: output escapes effect buffering and survives rollback; use p.Printf", name)
+		case strings.HasPrefix(name, "Fprint") && len(call.Args) > 0:
+			if target := describeIOTarget(w.pkg, call.Args[0]); target != "" {
+				w.a.errorf(call.Pos(), RuleRawIO,
+					"fmt.%s to %s inside a process body: output escapes effect buffering and survives rollback; use p.Printf or wrap the write in p.Effect", name, target)
+			}
+		}
+	case "log":
+		w.a.errorf(call.Pos(), RuleRawIO,
+			"call to log.%s inside a process body: output escapes effect buffering and survives rollback; use p.Printf or wrap the write in p.Effect", name)
+	case "os":
+		switch name {
+		case "WriteFile", "Create", "OpenFile", "Remove", "RemoveAll",
+			"Mkdir", "MkdirAll", "Rename", "Truncate", "Chmod", "Symlink", "Link":
+			w.a.errorf(call.Pos(), RuleRawIO,
+				"call to os.%s inside a process body: filesystem effects survive rollback; wrap the action in p.Effect", name)
+		default:
+			w.checkFileMethod(call, callee)
+		}
+	}
+}
+
+// checkFileMethod flags writes through an *os.File method value.
+func (w *walker) checkFileMethod(call *ast.CallExpr, callee *types.Func) {
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !isOSFile(sig.Recv().Type()) {
+		return
+	}
+	switch name := callee.Name(); name {
+	case "Write", "WriteString", "WriteAt", "ReadFrom", "Sync", "Truncate":
+		w.a.errorf(call.Pos(), RuleRawIO,
+			"File.%s inside a process body: the write is visible even if the execution rolls back; wrap it in p.Effect", name)
+	}
+}
+
+// describeIOTarget reports a non-empty description when expr is an
+// external output stream: os.Stdout, os.Stderr, or any *os.File.
+func describeIOTarget(pkg *Package, expr ast.Expr) string {
+	if sel, ok := ast.Unparen(expr).(*ast.SelectorExpr); ok {
+		if v, ok := pkg.Info.Uses[sel.Sel].(*types.Var); ok && v.Pkg() != nil && v.Pkg().Path() == "os" {
+			switch v.Name() {
+			case "Stdout", "Stderr":
+				return "os." + v.Name()
+			}
+		}
+	}
+	if tv, ok := pkg.Info.Types[expr]; ok && tv.Type != nil && isOSFile(tv.Type) {
+		return "an *os.File"
+	}
+	return ""
+}
+
+// isOSFile reports whether t is os.File or *os.File.
+func isOSFile(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "os" && named.Obj().Name() == "File"
+}

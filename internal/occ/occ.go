@@ -81,8 +81,8 @@ func ServePrimary(rt *engine.Runtime, name string, initial map[string]any) error
 		// State is rebuilt on every body attempt so replay re-derives it
 		// from the surviving request prefix.
 		data := make(map[string]Versioned, len(init))
-		for k, v := range init {
-			data[k] = Versioned{Val: v, Ver: 1}
+		for _, k := range sortedKeys(init) {
+			data[k] = Versioned{Val: init[k], Ver: 1}
 		}
 		for {
 			m, err := p.Recv()

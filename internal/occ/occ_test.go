@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"hope/internal/engine"
+	"hope/internal/testutil"
 )
 
 func newRT(t *testing.T, opts ...engine.Option) *engine.Runtime {
@@ -140,6 +141,7 @@ func TestConflictForcesPessimisticPath(t *testing.T) {
 	var bConflicts, finalVal atomic.Int64
 
 	if err := rt.Spawn("a", func(p *engine.Proc) error {
+		//hopelint:ignore nondeterminism -- close-only test barrier; a re-receive never blocks
 		<-bStarted // B has cached version 1
 		s := NewSession(p, "primary")
 		if err := s.WriteSync("k", 100); err != nil { // bumps version
@@ -156,6 +158,7 @@ func TestConflictForcesPessimisticPath(t *testing.T) {
 			return err
 		}
 		bOnce.Do(func() { close(bStarted) })
+		//hopelint:ignore nondeterminism -- close-only test barrier; a re-receive never blocks
 		<-aDone // now the cache is stale
 		ok, err := s.WriteOptimistic("k", 200)
 		if err != nil {
@@ -189,7 +192,7 @@ func TestConflictForcesPessimisticPath(t *testing.T) {
 func TestSpeculativeReadOfOptimisticWriteRollsBack(t *testing.T) {
 	// Downstream computation on a speculative write must be undone on
 	// conflict: output gated by effects shows only the reconciled value.
-	buf := &safeBuf{}
+	buf := &testutil.SyncBuffer{}
 	rt := engine.New(engine.WithOutput(buf))
 	t.Cleanup(rt.Shutdown)
 	if err := ServePrimary(rt, "primary", map[string]any{"k": 0}); err != nil {
@@ -211,6 +214,7 @@ func TestSpeculativeReadOfOptimisticWriteRollsBack(t *testing.T) {
 		if _, err := s.Read("k"); err != nil { // version 1 (value 0)
 			return err
 		}
+		//hopelint:ignore nondeterminism -- close-only test barrier; a re-receive never blocks
 		<-ready // primary now at version 2
 		if _, err := s.WriteOptimistic("k", 9); err != nil {
 			return err
@@ -323,32 +327,4 @@ func TestOptimisticFasterThanSyncUnderLatency(t *testing.T) {
 		t.Fatalf("optimistic %v not faster than sync %v", optT, syncT)
 	}
 	t.Logf("sync=%v optimistic=%v speedup=%.1fx", syncT, optT, float64(syncT)/float64(optT))
-}
-
-type safeBuf struct {
-	ch  chan struct{}
-	buf []byte
-}
-
-func (b *safeBuf) init() {
-	if b.ch == nil {
-		b.ch = make(chan struct{}, 1)
-		b.ch <- struct{}{}
-	}
-}
-
-func (b *safeBuf) Write(p []byte) (int, error) {
-	b.init()
-	<-b.ch
-	b.buf = append(b.buf, p...)
-	b.ch <- struct{}{}
-	return len(p), nil
-}
-
-func (b *safeBuf) String() string {
-	b.init()
-	<-b.ch
-	s := string(b.buf)
-	b.ch <- struct{}{}
-	return s
 }

@@ -107,8 +107,8 @@ func (s *Session) Txn(f func(tx *Tx) error) (bool, error) {
 		return false, err
 	}
 	resp := m.Payload.(txnResp)
-	for k, cur := range resp.Cur {
-		s.cache[k] = cur
+	for _, k := range sortedKeys(resp.Cur) {
+		s.cache[k] = resp.Cur[k]
 	}
 	if resp.OK {
 		return false, nil // stale affirm: the commit landed after all
@@ -141,8 +141,8 @@ func (s *Session) txnSyncLoop(f func(tx *Tx) error) error {
 			return err
 		}
 		resp := m.Payload.(txnResp)
-		for k, cur := range resp.Cur {
-			s.cache[k] = cur
+		for _, k := range sortedKeys(resp.Cur) {
+			s.cache[k] = resp.Cur[k]
 		}
 		s.SyncWrites++
 		if resp.OK {
@@ -157,8 +157,8 @@ func (s *Session) txnSyncLoop(f func(tx *Tx) error) error {
 // whether the assumption (if any) should be affirmed.
 func handleTxn(data map[string]Versioned, req txnReq) (txnResp, bool) {
 	ok := true
-	for key, ver := range req.Reads {
-		if data[key].Ver != ver {
+	for _, key := range sortedKeys(req.Reads) {
+		if data[key].Ver != req.Reads[key] {
 			ok = false
 			break
 		}
@@ -171,10 +171,10 @@ func handleTxn(data map[string]Versioned, req txnReq) (txnResp, bool) {
 			cur[key] = data[key]
 		}
 	} else {
-		for key := range req.Reads {
+		for _, key := range sortedKeys(req.Reads) {
 			cur[key] = data[key]
 		}
-		for key := range req.Writes {
+		for _, key := range sortedKeys(req.Writes) {
 			cur[key] = data[key]
 		}
 	}
@@ -183,6 +183,7 @@ func handleTxn(data map[string]Versioned, req txnReq) (txnResp, bool) {
 
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
+	//hopelint:ignore nondeterminism -- this is the "sort the keys first" idiom itself
 	for k := range m {
 		keys = append(keys, k)
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"hope/internal/engine"
+	"hope/internal/testutil"
 )
 
 // echoServer replies with f(req).
@@ -121,7 +122,7 @@ func TestStreamCallMispredictionRollsBack(t *testing.T) {
 
 func TestStreamCallSpeculativeEffectsGated(t *testing.T) {
 	// Output produced under a wrong prediction must never commit.
-	buf := &syncBuf{}
+	buf := &testutil.SyncBuffer{}
 	rt := engine.New(engine.WithOutput(buf))
 	serveFunc(t, rt, "svc", func(req any) any { return "actual" })
 	c, err := NewClient(rt, "caller")
@@ -297,34 +298,6 @@ func TestServerStateful(t *testing.T) {
 	if final.Load() != 15 {
 		t.Fatalf("final = %d, want 15", final.Load())
 	}
-}
-
-type syncBuf struct {
-	mu  chan struct{}
-	buf []byte
-}
-
-func (b *syncBuf) init() {
-	if b.mu == nil {
-		b.mu = make(chan struct{}, 1)
-		b.mu <- struct{}{}
-	}
-}
-
-func (b *syncBuf) Write(p []byte) (int, error) {
-	b.init()
-	<-b.mu
-	b.buf = append(b.buf, p...)
-	b.mu <- struct{}{}
-	return len(p), nil
-}
-
-func (b *syncBuf) String() string {
-	b.init()
-	<-b.mu
-	s := string(b.buf)
-	b.mu <- struct{}{}
-	return s
 }
 
 func BenchmarkSyncVsStream(b *testing.B) {

@@ -1,0 +1,27 @@
+// Package testutil holds small helpers shared by tests across the
+// module.
+package testutil
+
+import (
+	"bytes"
+	"sync"
+)
+
+// SyncBuffer is a mutex-guarded bytes.Buffer for capturing output that
+// runtime goroutines write concurrently. The zero value is ready to use.
+type SyncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (b *SyncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.b.Write(p)
+}
+
+func (b *SyncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.b.String()
+}

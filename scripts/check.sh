@@ -1,0 +1,25 @@
+#!/bin/sh
+# check.sh — the full verification tier, in dependency order:
+# compile, vet, contract-lint every process body, then the race-enabled
+# test suite. Run from anywhere; it cds to the repo root.
+#
+#   ./scripts/check.sh
+#
+# Each stage must pass before the next runs; the script exits non-zero
+# on the first failure.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== hopelint ./..."
+go run ./cmd/hopelint ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "check.sh: all stages passed"
