@@ -1,25 +1,54 @@
 // Command hopebench regenerates the experiment tables recorded in
 // EXPERIMENTS.md: the paper's quantitative claims (E1–E3) and the
-// characterization of every substrate the library ships (E4–E8).
+// characterization of every substrate the library ships (E4–E11).
 //
 //	hopebench              # run everything
 //	hopebench -exp E1,E3   # run a subset
 //	hopebench -list        # list experiments
+//	hopebench -json        # machine-readable results (perf trajectory)
+//
+// The -json form is what BENCH_runtime.json at the repo root is recorded
+// with; future changes compare against it to catch perf regressions.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"hope/internal/experiments"
 )
 
+// result is one experiment's machine-readable record.
+type result struct {
+	ID      string  `json:"id"`
+	Title   string  `json:"title"`
+	Seconds float64 `json:"seconds"`
+	// Output is the rendered table text; trajectory tooling diffs the
+	// shape and parses the columns it cares about.
+	Output string `json:"output"`
+}
+
+// report is the top-level JSON document.
+type report struct {
+	Tool        string   `json:"tool"`
+	GoVersion   string   `json:"go_version"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	RecordedAt  string   `json:"recorded_at"`
+	Experiments []result `json:"experiments"`
+}
+
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment IDs (E1..E8) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment IDs (E1..E11) or 'all'")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON results on stdout")
 	flag.Parse()
 
 	all := experiments.All()
@@ -37,22 +66,52 @@ func main() {
 		}
 	}
 
+	rep := report{
+		Tool:       "hopebench",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		RecordedAt: time.Now().UTC().Format(time.RFC3339),
+	}
 	ran := 0
 	for _, e := range all {
 		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
-		fmt.Printf("== %s: %s ==\n\n", e.ID, e.Title)
+		var out io.Writer = os.Stdout
+		var buf bytes.Buffer
+		if *jsonOut {
+			out = &buf
+		} else {
+			fmt.Printf("== %s: %s ==\n\n", e.ID, e.Title)
+		}
 		start := time.Now()
-		if err := e.Run(os.Stdout); err != nil {
+		if err := e.Run(out); err != nil {
 			fmt.Fprintf(os.Stderr, "hopebench: %s failed: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		if *jsonOut {
+			rep.Experiments = append(rep.Experiments, result{
+				ID: e.ID, Title: e.Title,
+				Seconds: elapsed.Seconds(),
+				Output:  buf.String(),
+			})
+		} else {
+			fmt.Printf("(%s completed in %v)\n\n", e.ID, elapsed.Round(time.Millisecond))
+		}
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintln(os.Stderr, "hopebench: no experiments matched; use -list")
 		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "hopebench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -84,9 +84,12 @@ type Runtime struct {
 	procs    map[string]*Proc
 	inflight int
 	closed   bool
+	// settledWaiters are the processes currently blocked in RecvSettled.
+	// The resolution watcher wakes exactly these instead of locking every
+	// process on every resolution (guarded by mu).
+	settledWaiters map[*Proc]struct{}
 
-	linkMu sync.Mutex
-	links  map[linkKey]chan struct{}
+	sched sched
 
 	seq atomic.Uint64
 }
@@ -97,27 +100,30 @@ type linkKey struct{ from, to string }
 // New creates an empty runtime.
 func New(opts ...Option) *Runtime {
 	r := &Runtime{
-		tr:    tracker.New(),
-		out:   os.Stdout,
-		procs: make(map[string]*Proc),
-		links: make(map[linkKey]chan struct{}),
+		tr:             tracker.New(),
+		out:            os.Stdout,
+		procs:          make(map[string]*Proc),
+		settledWaiters: make(map[*Proc]struct{}),
 	}
 	r.cond = sync.NewCond(&r.mu)
+	r.sched.init()
 	for _, o := range opts {
 		o(r)
 	}
 	// Wake pessimistic receivers (RecvSettled) whenever any assumption
 	// resolves: their deliverability depends on global resolution state,
-	// not just their own queue.
+	// not just their own queue. Only the processes registered as blocked
+	// in RecvSettled are woken — a resolution does not serialize against
+	// every process in the system.
 	r.tr.SetResolutionWatcher(func() {
 		r.mu.Lock()
-		procs := make([]*Proc, 0, len(r.procs))
-		for _, p := range r.procs {
-			procs = append(procs, p)
+		waiters := make([]*Proc, 0, len(r.settledWaiters))
+		for p := range r.settledWaiters {
+			waiters = append(waiters, p)
 		}
 		r.cond.Broadcast()
 		r.mu.Unlock()
-		for _, p := range procs {
+		for _, p := range waiters {
 			p.mu.Lock()
 			if p.waitSettled {
 				p.cond.Broadcast()
@@ -126,6 +132,20 @@ func New(opts ...Option) *Runtime {
 		}
 	})
 	return r
+}
+
+// addSettledWaiter registers p as blocked in RecvSettled.
+func (r *Runtime) addSettledWaiter(p *Proc) {
+	r.mu.Lock()
+	r.settledWaiters[p] = struct{}{}
+	r.mu.Unlock()
+}
+
+// removeSettledWaiter deregisters p.
+func (r *Runtime) removeSettledWaiter(p *Proc) {
+	r.mu.Lock()
+	delete(r.settledWaiters, p)
+	r.mu.Unlock()
 }
 
 // TrackerStats returns the dependency tracker's activity counters.
@@ -176,9 +196,11 @@ func (r *Runtime) bump() {
 
 // route delivers msg to the named destination, applying the latency model.
 // Channels are FIFO per directed (from, to) link, as the paper's model
-// (and the replay log) requires: with a latency model installed, each
-// message's delivery waits for its link predecessor even if its own timer
-// fires first.
+// (and the replay log) requires: with a latency model installed, a
+// message's delivery waits for its link predecessor even if its own
+// timer fires first. Delayed deliveries are drained by one scheduler
+// goroutine off a min-heap of due times (see sched.go) instead of one
+// goroutine + timer per message.
 func (r *Runtime) route(from, to string, msg *rmsg) error {
 	r.mu.Lock()
 	dst, ok := r.procs[to]
@@ -197,32 +219,25 @@ func (r *Runtime) route(from, to string, msg *rmsg) error {
 	r.inflight++
 	r.mu.Unlock()
 
-	// Chain this delivery behind the link's previous one.
-	r.linkMu.Lock()
-	key := linkKey{from: from, to: to}
-	prev := r.links[key]
-	done := make(chan struct{})
-	r.links[key] = done
-	r.linkMu.Unlock()
-
-	go func() {
-		if delay > 0 {
-			time.Sleep(delay)
-		}
-		if prev != nil {
-			<-prev
-		}
-		// Decrement inflight only after the enqueue is visible, so the
-		// stability scan never observes "no inflight, empty queue" for a
-		// message in this window. enqueue itself takes rt.mu.
-		dst.enqueue(msg)
-		r.mu.Lock()
-		r.inflight--
-		r.cond.Broadcast()
-		r.mu.Unlock()
-		close(done)
-	}()
+	r.sched.schedule(r, &delivery{
+		due: time.Now().Add(delay),
+		key: linkKey{from: from, to: to},
+		msg: msg,
+		dst: dst,
+	})
 	return nil
+}
+
+// deliverNow hands a scheduled message to its destination; called from
+// the scheduler goroutine. Inflight is decremented only after the
+// enqueue is visible, so the stability scan never observes "no inflight,
+// empty queue" for a message in this window.
+func (r *Runtime) deliverNow(d *delivery) {
+	d.dst.enqueue(d.msg)
+	r.mu.Lock()
+	r.inflight--
+	r.cond.Broadcast()
+	r.mu.Unlock()
 }
 
 // Wait blocks until every spawned process has finished (body returned and
@@ -304,6 +319,10 @@ func (r *Runtime) Shutdown() {
 		p.cond.Broadcast()
 		p.mu.Unlock()
 	}
+	// Flush the delivery scheduler: remaining scheduled messages are
+	// delivered immediately (their receivers are closed) and the
+	// scheduler goroutine exits.
+	r.sched.close()
 	r.bump()
 }
 
@@ -337,13 +356,13 @@ func (r *Runtime) DebugString() string {
 		p.mu.Lock()
 		phase := p.state
 		qlen := len(p.queue)
+		p.classifyQueueLocked()
 		settled, spec, orphan := 0, 0, 0
 		for _, m := range p.queue {
-			s, o := r.tr.Settled(m.tags)
 			switch {
-			case o:
+			case m.cls.Orphan:
 				orphan++
-			case s:
+			case m.cls.Settled:
 				settled++
 			default:
 				spec++
@@ -353,12 +372,8 @@ func (r *Runtime) DebugString() string {
 		waiting := p.waitPred != nil
 		waitSettled := p.waitSettled
 		p.mu.Unlock()
-		phaseName := map[procPhase]string{
-			stateRunning: "running", stateBlocked: "blocked",
-			stateParked: "parked", stateDone: "done",
-		}[phase]
-		fmt.Fprintf(&b, "  %-14s %-8s queue=%d (settled=%d spec=%d orphan=%d) log=%d replay=%d pred=%v settledWait=%v pending=%v live=%d\n",
-			names[i], phaseName, qlen, settled, spec, orphan, loglen, replay, waiting, waitSettled,
+		fmt.Fprintf(&b, "  %-14s %-8v queue=%d (settled=%d spec=%d orphan=%d) log=%d replay=%d pred=%v settledWait=%v pending=%v live=%d\n",
+			names[i], phase, qlen, settled, spec, orphan, loglen, replay, waiting, waitSettled,
 			r.tr.PendingRollback(p.id), r.tr.LiveIntervals(p.id))
 	}
 	return b.String()

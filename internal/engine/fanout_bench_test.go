@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+)
+
+// BenchmarkFanoutDelivery measures end-to-end delivery throughput at high
+// fanout with a latency model installed: one sender broadcasting rounds
+// of messages to N receivers. This is the path the delivery scheduler
+// (sched.go) serves off a single goroutine and min-heap; the previous
+// implementation spawned one goroutine + timer per in-flight message.
+func BenchmarkFanoutDelivery(b *testing.B) {
+	for _, receivers := range []int{8, 32} {
+		b.Run(fmt.Sprintf("receivers=%d", receivers), func(b *testing.B) {
+			const rounds = 16
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rt := New(
+					WithOutput(io.Discard),
+					WithLatency(func(from, to string) time.Duration { return 100 * time.Microsecond }),
+				)
+				for r := 0; r < receivers; r++ {
+					name := fmt.Sprintf("rx%d", r)
+					if err := rt.Spawn(name, func(p *Proc) error {
+						for j := 0; j < rounds; j++ {
+							if _, err := p.Recv(); err != nil {
+								return nil
+							}
+						}
+						return nil
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := rt.Spawn("tx", func(p *Proc) error {
+					for j := 0; j < rounds; j++ {
+						for r := 0; r < receivers; r++ {
+							if err := p.Send(fmt.Sprintf("rx%d", r), j); err != nil {
+								return err
+							}
+						}
+					}
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+				if errs := rt.Wait(); errs != nil {
+					b.Fatalf("wait: %v", errs)
+				}
+				rt.Shutdown()
+			}
+			b.ReportMetric(float64(receivers*rounds), "msgs/op")
+		})
+	}
+}

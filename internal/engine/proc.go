@@ -35,6 +35,11 @@ type rmsg struct {
 	from    string
 	payload any
 	tags    []ids.AID
+	// cls memoizes the tag set's classification verdict (guarded by the
+	// owning receiver's mu, like the queue itself): repeated queue scans
+	// revalidate it with one atomic epoch load instead of a locked
+	// dependency walk. Refreshed by classifyQueueLocked.
+	cls tracker.TagClass
 }
 
 // procPhase is a process's scheduling state, used by Quiesce.
@@ -46,6 +51,22 @@ const (
 	stateParked            // body returned, speculation unsettled
 	stateDone              // body returned and all speculation settled
 )
+
+// String names the phase.
+func (s procPhase) String() string {
+	switch s {
+	case stateRunning:
+		return "running"
+	case stateBlocked:
+		return "blocked"
+	case stateParked:
+		return "parked"
+	case stateDone:
+		return "done"
+	default:
+		return "invalid"
+	}
+}
 
 // rollbackSignal unwinds a process goroutine back to its loop for replay.
 type rollbackSignal struct{}
@@ -143,6 +164,39 @@ func (p *Proc) toState(s procPhase) {
 	p.rt.mu.Unlock()
 }
 
+// classifyQueueLocked refreshes the memoized classification verdict of
+// every queued message, batching all stale entries through one tracker
+// lock acquisition (tracker.Classify). Caller holds p.mu; afterwards each
+// message's m.cls is current and readable without touching the tracker.
+// Lock order rt.mu → p.mu → tracker.mu is preserved. On the hot path —
+// repeated scans with no resolutions in between — this is one atomic
+// epoch load plus a pointer walk, no locks and no allocation.
+func (p *Proc) classifyQueueLocked() {
+	e := p.rt.tr.Epoch()
+	stale := 0
+	for _, m := range p.queue {
+		if !m.cls.Current(e) {
+			stale++
+		}
+	}
+	if stale == 0 {
+		return
+	}
+	msgs := make([]*rmsg, 0, stale)
+	tagSets := make([][]ids.AID, 0, stale)
+	for _, m := range p.queue {
+		if !m.cls.Current(e) {
+			msgs = append(msgs, m)
+			tagSets = append(tagSets, m.tags)
+		}
+	}
+	out := make([]tracker.TagClass, len(msgs))
+	p.rt.tr.Classify(tagSets, out)
+	for i, m := range msgs {
+		m.cls = out[i]
+	}
+}
+
 // hasWork reports whether a blocked/parked process will make progress:
 // a pending rollback, or (when blocked) a deliverable queued message.
 // Called with rt.mu held; takes p.mu then tracker.mu (lock order).
@@ -155,6 +209,7 @@ func (p *Proc) hasWork() bool {
 	if p.state != stateBlocked {
 		return false
 	}
+	p.classifyQueueLocked()
 	for _, m := range p.queue {
 		if p.waitPred != nil && !p.waitPred(m.payload) {
 			continue
@@ -162,12 +217,12 @@ func (p *Proc) hasWork() bool {
 		if p.waitSettled {
 			// Settled messages deliver; orphans are droppable — both are
 			// progress. Speculative messages are not deliverable here.
-			if settled, orphan := p.rt.tr.Settled(m.tags); settled || orphan {
+			if m.cls.Settled || m.cls.Orphan {
 				return true
 			}
 			continue
 		}
-		if !p.rt.tr.Orphaned(m.tags) {
+		if !m.cls.Orphan {
 			return true
 		}
 	}
@@ -541,15 +596,15 @@ func (p *Proc) RecvSettled() (Msg, error) {
 			p.mu.Unlock()
 			return Msg{}, ErrShutdown
 		}
+		p.classifyQueueLocked()
 		var m *rmsg
 		drop := -1
 		for i, cand := range p.queue {
-			settled, orphan := p.rt.tr.Settled(cand.tags)
-			if orphan {
+			if cand.cls.Orphan {
 				drop = i
 				break
 			}
-			if settled {
+			if cand.cls.Settled {
 				m = cand
 				p.queue = append(p.queue[:i:i], p.queue[i+1:]...)
 				break
@@ -579,10 +634,15 @@ func (p *Proc) RecvSettled() (Msg, error) {
 		}
 
 		// Only speculative (or no) messages: block until something
-		// settles, arrives, or resolves.
+		// settles, arrives, or resolves. Register as a settled-waiter
+		// BEFORE the predicate check inside the wait loop: the resolution
+		// watcher wakes only registered waiters, and any resolution that
+		// commits after registration either broadcasts our cond or is
+		// already visible to hasSettledLocked's fresh classification.
 		p.mu.Lock()
 		p.waitSettled = true
 		p.mu.Unlock()
+		p.rt.addSettledWaiter(p)
 		p.toState(stateBlocked)
 		p.mu.Lock()
 		for !p.hasSettledLocked() && !p.closed && !p.rt.tr.PendingRollback(p.id) {
@@ -590,6 +650,7 @@ func (p *Proc) RecvSettled() (Msg, error) {
 		}
 		p.waitSettled = false
 		p.mu.Unlock()
+		p.rt.removeSettledWaiter(p)
 		p.toState(stateRunning)
 	}
 }
@@ -597,8 +658,9 @@ func (p *Proc) RecvSettled() (Msg, error) {
 // hasSettledLocked reports whether any queued message has settled or
 // orphaned tags. Caller holds p.mu.
 func (p *Proc) hasSettledLocked() bool {
+	p.classifyQueueLocked()
 	for _, m := range p.queue {
-		if settled, orphan := p.rt.tr.Settled(m.tags); settled || orphan {
+		if m.cls.Settled || m.cls.Orphan {
 			return true
 		}
 	}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hope/internal/bench"
+	"hope/internal/ids"
+	"hope/internal/tracker"
+)
+
+// E11TrackerScaling measures dependency-classification throughput on the
+// high-fanout queue-rescan workload: N processes each speculative on one
+// assumption, each holding a queue of tagged messages, every queue
+// rescanned repeatedly as RecvSettled/hasWork do. "fresh" re-runs the
+// locked transitive walk per message (the pre-epoch-cache behavior);
+// "cached" revalidates a memoized TagClass verdict against the resolution
+// epoch — the tentpole optimization whose coherence argument is in
+// DESIGN.md.
+func E11TrackerScaling(w io.Writer) error {
+	const qlen = 16
+	t := bench.NewTable("E11: tracker classification scaling, queue rescans (16 msgs/proc)",
+		"procs", "fresh Mops/s", "epoch-cached Mops/s", "speedup")
+	for _, procs := range []int{1, 8, 64} {
+		fresh, cached := trackerScanRates(procs, qlen)
+		t.AddRow(procs, fmt.Sprintf("%.2f", fresh/1e6), fmt.Sprintf("%.2f", cached/1e6),
+			fmt.Sprintf("%.1fx", cached/fresh))
+	}
+	return render(w, t)
+}
+
+// trackerScanRates returns classification ops/sec for the fresh and
+// epoch-cached scan paths over the same tracker state.
+func trackerScanRates(procs, qlen int) (fresh, cached float64) {
+	tr := tracker.New()
+	var queues [][]ids.AID
+	for i := 0; i < procs; i++ {
+		p := tr.Register(nopHooks{})
+		x := tr.NewAID()
+		if _, err := tr.Guess(p, x, 0); err != nil {
+			panic(err)
+		}
+		tags, err := tr.Tag(p)
+		if err != nil {
+			panic(err)
+		}
+		for j := 0; j < qlen; j++ {
+			queues = append(queues, tags)
+		}
+	}
+
+	const minOps = 200_000
+	measure := func(scan func()) float64 {
+		ops := 0
+		start := time.Now()
+		for ops < minOps {
+			scan()
+			ops += len(queues)
+		}
+		return float64(ops) / time.Since(start).Seconds()
+	}
+
+	fresh = measure(func() {
+		for _, tags := range queues {
+			tr.Settled(tags)
+		}
+	})
+	caches := make([]tracker.TagClass, len(queues))
+	cached = measure(func() {
+		for i, tags := range queues {
+			tr.ClassifyCached(tags, &caches[i])
+		}
+	})
+	return fresh, cached
+}
+
+type nopHooks struct{}
+
+func (nopHooks) NotifyRollback() {}

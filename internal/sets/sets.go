@@ -140,6 +140,24 @@ func (s *Set[K]) each(fn func(K)) {
 	}
 }
 
+// Range calls fn for every live element in insertion order until fn
+// returns false, reporting whether the iteration ran to completion. It
+// does not allocate; fn must not mutate the set (use Elems when the loop
+// body removes elements).
+func (s *Set[K]) Range(fn func(K) bool) bool {
+	if s == nil {
+		return true
+	}
+	for _, e := range s.order {
+		if _, ok := s.members[e]; ok {
+			if !fn(e) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Elems returns the elements in insertion order. The slice is a copy, so it
 // is safe to mutate the set while ranging over the result — the idiom every
 // transition rule that removes elements mid-iteration relies on.

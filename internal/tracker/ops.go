@@ -45,7 +45,7 @@ func (t *Tracker) Guess(p ids.Proc, x ids.AID, logIndex int) (GuessOutcome, erro
 		t.mu.Unlock()
 		return GuessOutcome{Result: false}, nil
 	}
-	if deps.Empty() {
+	if len(deps) == 0 {
 		t.stats.ShortGuesses++
 		t.mu.Unlock()
 		return GuessOutcome{Result: true}, nil
@@ -85,7 +85,7 @@ func (t *Tracker) Deliver(p ids.Proc, tags []ids.AID, logIndex int) (DeliverOutc
 		t.mu.Unlock()
 		return DeliverOutcome{Orphan: true}, nil
 	}
-	if deps.Empty() {
+	if len(deps) == 0 {
 		t.mu.Unlock()
 		return DeliverOutcome{}, nil
 	}
@@ -107,8 +107,9 @@ func (t *Tracker) Affirm(p ids.Proc, x ids.AID) error {
 		t.mu.Unlock()
 		return ErrRolledBack
 	}
-	ctx := newOpCtx()
+	ctx := t.newOpCtxLocked()
 	err = t.affirmLocked(ps, x, ctx)
+	t.commitLocked(ctx)
 	t.mu.Unlock()
 	t.finish(ctx)
 	return err
@@ -189,8 +190,9 @@ func (t *Tracker) Deny(p ids.Proc, x ids.AID) error {
 		t.mu.Unlock()
 		return ErrRolledBack
 	}
-	ctx := newOpCtx()
+	ctx := t.newOpCtxLocked()
 	err = t.denyLocked(ps, x, ctx)
+	t.commitLocked(ctx)
 	t.mu.Unlock()
 	t.finish(ctx)
 	return err
@@ -238,7 +240,7 @@ func (t *Tracker) FreeOf(p ids.Proc, x ids.AID) error {
 		return ErrRolledBack
 	}
 	t.stats.FreeOfs++
-	ctx := newOpCtx()
+	ctx := t.newOpCtxLocked()
 	a := t.aidLocked(x)
 	if a.status == Denied {
 		// Re-execution after the constraint violation was handled.
@@ -251,6 +253,7 @@ func (t *Tracker) FreeOf(p ids.Proc, x ids.AID) error {
 	} else {
 		err = t.affirmLocked(ps, x, ctx) // Equations 17–18
 	}
+	t.commitLocked(ctx)
 	t.mu.Unlock()
 	t.finish(ctx)
 	return err
@@ -402,8 +405,8 @@ func removeInterval(ps *procState, iv *intervalState) {
 
 // LiveIntervals reports p's speculative interval count (diagnostics).
 func (t *Tracker) LiveIntervals(p ids.Proc) int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	ps, ok := t.procs[p]
 	if !ok {
 		return 0
@@ -413,8 +416,8 @@ func (t *Tracker) LiveIntervals(p ids.Proc) int {
 
 // CurrentInterval returns p's current interval, or NoInterval.
 func (t *Tracker) CurrentInterval(p ids.Proc) ids.Interval {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	ps, ok := t.procs[p]
 	if !ok {
 		return ids.NoInterval

@@ -17,6 +17,16 @@
 // blocks on user code or on another process. Settlement callbacks (effect
 // commits/aborts, rollback requests) are invoked after the lock is
 // released.
+//
+// The lock is a sync.RWMutex: read-mostly operations (Status, Settled,
+// Orphaned, Tag, Definite, PendingRollback, Stats, Classify) share the
+// lock, so concurrent receivers scanning their queues never serialize
+// against each other — only against resolutions. On top of that, the
+// tracker maintains a monotonic *resolution epoch* (see Epoch): any
+// mutation that can change a tag set's classification bumps it, so
+// callers can memoize a classification verdict and revalidate it with
+// one atomic load (TagClass, ClassifyCached) instead of re-running the
+// transitive dependency walk on every queue scan.
 package tracker
 
 import (
@@ -24,6 +34,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"hope/internal/ids"
 	"hope/internal/sets"
@@ -170,13 +181,19 @@ func (p *procState) current() *intervalState {
 // Tracker is the shared dependency-tracking state for one Runtime.
 // The zero value is not usable; call New.
 type Tracker struct {
-	mu        sync.Mutex
+	mu        sync.RWMutex
 	gen       ids.Gen
 	aids      map[ids.AID]*aidState
 	intervals map[ids.Interval]*intervalState
 	procs     map[ids.Proc]*procState
 	stats     Stats
 	watcher   func()
+	// epoch is the resolution epoch: it advances (under the write lock)
+	// whenever an assumption's resolution changes or an interval settles —
+	// exactly the mutations that can change a tag set's classification.
+	// NewAID does not bump it: a fresh AID cannot already appear in any
+	// tag set or replacement set, so no cached verdict can mention it.
+	epoch atomic.Uint64
 	// finalizedIvs records intervals made definite, for the engine's
 	// requeue-sanity assertion (a finalized receive must never be
 	// redelivered).
@@ -185,12 +202,16 @@ type Tracker struct {
 
 // New returns an empty tracker.
 func New() *Tracker {
-	return &Tracker{
+	t := &Tracker{
 		aids:         make(map[ids.AID]*aidState),
 		intervals:    make(map[ids.Interval]*intervalState),
 		procs:        make(map[ids.Proc]*procState),
 		finalizedIvs: make(map[ids.Interval]bool),
 	}
+	// Epoch 0 is reserved as "never classified" in TagClass, so caches
+	// zero-valued by message construction are always treated as stale.
+	t.epoch.Store(1)
+	return t
 }
 
 // Register adds a process. The returned identifier names it in all
@@ -214,15 +235,15 @@ func (t *Tracker) NewAID() ids.AID {
 
 // Stats returns a copy of the activity counters.
 func (t *Tracker) Stats() Stats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.stats
 }
 
 // Status returns the resolution state of x.
 func (t *Tracker) Status(x ids.AID) Resolution {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	a, ok := t.aids[x]
 	if !ok {
 		return Unresolved
@@ -233,8 +254,8 @@ func (t *Tracker) Status(x ids.AID) Resolution {
 // Definite reports whether process p currently has no speculative
 // intervals (the paper's Si.I = ∅).
 func (t *Tracker) Definite(p ids.Proc) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	ps, ok := t.procs[p]
 	return ok && len(ps.live) == 0
 }
@@ -244,8 +265,8 @@ func (t *Tracker) Definite(p ids.Proc) bool {
 // the process has a pending rollback: a send from a doomed continuation
 // would otherwise escape orphaning by carrying post-rollback tags.
 func (t *Tracker) Tag(p ids.Proc) ([]ids.AID, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	ps, ok := t.procs[p]
 	if !ok {
 		return nil, ErrUnknownProc
@@ -262,9 +283,9 @@ func (t *Tracker) Tag(p ids.Proc) ([]ids.AID, error) {
 // Orphaned reports whether a message with these tags is an orphan: some
 // transitively resolved tag AID is denied.
 func (t *Tracker) Orphaned(tags []ids.AID) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	_, orphan := t.resolveDepsLocked(tags)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, orphan := t.classifyLocked(tags)
 	return orphan
 }
 
@@ -272,13 +293,77 @@ func (t *Tracker) Orphaned(tags []ids.AID) bool {
 // is definitively affirmed; orphan means some dependency is denied.
 // Neither means the set is still speculative.
 func (t *Tracker) Settled(tags []ids.AID) (settled, orphan bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	deps, orphan := t.resolveDepsLocked(tags)
-	if orphan {
-		return false, true
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.classifyLocked(tags)
+}
+
+// Epoch returns the current resolution epoch. A TagClass stamped at this
+// epoch remains a faithful classification of its tag set until the value
+// returned here changes (see TagClass.Current for the full rule).
+func (t *Tracker) Epoch() uint64 { return t.epoch.Load() }
+
+// TagClass is a memoized classification verdict for one tag set: the
+// (settled, orphan) answer of Settled plus the resolution epoch it was
+// computed at. The zero value is "never classified" and is always stale.
+//
+// Receivers keep one TagClass per queued message so repeated queue scans
+// cost one atomic epoch load per message instead of a locked transitive
+// dependency walk.
+type TagClass struct {
+	// Epoch is the resolution epoch the verdict was computed at (0 =
+	// never).
+	Epoch uint64
+	// Settled and Orphan mirror Settled's results; both false means the
+	// tag set was still speculative at Epoch.
+	Settled bool
+	Orphan  bool
+}
+
+// Current reports whether the verdict is still valid at epoch e.
+//
+// A settled verdict is valid forever: settled means every transitive
+// dependency is Affirmed, Affirmed is a terminal resolution, and a
+// SpecAffirmed replacement set is frozen when written — so the walk that
+// produced the verdict would visit the same nodes and find the same
+// terminal statuses at any later epoch. Orphan and speculative verdicts
+// are valid only while the epoch is unchanged: a resolution can settle a
+// speculative set, and an orphan verdict reached through a stale frozen
+// replacement chain can in principle be superseded by the chain's
+// affirmer settling.
+func (c TagClass) Current(e uint64) bool {
+	return c.Epoch != 0 && (c.Settled || c.Epoch == e)
+}
+
+// ClassifyCached classifies tags, consulting and refreshing the caller's
+// memoized verdict: when c is still current the answer is returned with a
+// single atomic load and no lock; otherwise the set is classified under
+// the read lock and c is overwritten with the new stamped verdict. The
+// caller must own c (the tracker does not retain it).
+func (t *Tracker) ClassifyCached(tags []ids.AID, c *TagClass) (settled, orphan bool) {
+	if c.Current(t.epoch.Load()) {
+		return c.Settled, c.Orphan
 	}
-	return deps.Empty(), false
+	t.mu.RLock()
+	e := t.epoch.Load()
+	settled, orphan = t.classifyLocked(tags)
+	t.mu.RUnlock()
+	*c = TagClass{Epoch: e, Settled: settled, Orphan: orphan}
+	return settled, orphan
+}
+
+// Classify classifies every tag set under one read-lock acquisition,
+// writing a stamped verdict into the corresponding out entry. len(out)
+// must be at least len(tagSets). Receivers use it to refresh a whole
+// queue's verdicts in one pass instead of locking per message.
+func (t *Tracker) Classify(tagSets [][]ids.AID, out []TagClass) {
+	t.mu.RLock()
+	e := t.epoch.Load()
+	for i, tags := range tagSets {
+		settled, orphan := t.classifyLocked(tags)
+		out[i] = TagClass{Epoch: e, Settled: settled, Orphan: orphan}
+	}
+	t.mu.RUnlock()
 }
 
 // SetResolutionWatcher installs a callback invoked (outside the tracker
@@ -297,12 +382,17 @@ type opCtx struct {
 	notify map[ids.Proc]Hooks
 	after  []func()
 	// resolved marks that some assumption's resolution state changed, so
-	// the resolution watcher must fire.
+	// the resolution watcher must fire (and the epoch must advance).
 	resolved bool
+	// watcher is the resolution watcher captured at operation start,
+	// under the same lock acquisition as the operation itself — finish
+	// never has to re-enter the tracker lock.
+	watcher func()
 }
 
-func newOpCtx() *opCtx {
-	return &opCtx{notify: make(map[ids.Proc]Hooks)}
+// newOpCtxLocked snapshots the watcher; caller holds t.mu.
+func (t *Tracker) newOpCtxLocked() *opCtx {
+	return &opCtx{notify: make(map[ids.Proc]Hooks), watcher: t.watcher}
 }
 
 // finish delivers rollback notifications and runs queued effects, outside
@@ -316,20 +406,25 @@ func (t *Tracker) finish(ctx *opCtx) {
 	for _, f := range ctx.after {
 		f()
 	}
+	if ctx.resolved && ctx.watcher != nil {
+		ctx.watcher()
+	}
+}
+
+// commitLocked seals a mutating operation: if it resolved anything, the
+// resolution epoch advances — still inside the write critical section, so
+// a reader that observes the old epoch is guaranteed the mutation has not
+// happened yet from its lock-ordered point of view.
+func (t *Tracker) commitLocked(ctx *opCtx) {
 	if ctx.resolved {
-		t.mu.Lock()
-		w := t.watcher
-		t.mu.Unlock()
-		if w != nil {
-			w()
-		}
+		t.epoch.Add(1)
 	}
 }
 
 // PendingRollback reports whether a rollback target is pending for p.
 func (t *Tracker) PendingRollback(p ids.Proc) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	ps, ok := t.procs[p]
 	return ok && ps.pending != nil
 }
@@ -347,41 +442,100 @@ func (t *Tracker) TakePending(p ids.Proc) *RollbackTarget {
 	return tgt
 }
 
-// resolveDepsLocked expands tags transitively through speculative affirms
-// (Lemma 6.1), exactly as the semantics machine does.
-func (t *Tracker) resolveDepsLocked(tags []ids.AID) (*sets.Set[ids.AID], bool) {
-	deps := sets.New[ids.AID]()
-	seen := sets.New[ids.AID]()
-	var visit func(x ids.AID) bool
-	visit = func(x ids.AID) bool {
-		if !seen.Add(x) {
+// depWalk is the transitive tag expansion through speculative affirms
+// (Lemma 6.1), exactly as the semantics machine does it — but without
+// allocating: visited AIDs live in a small inline buffer, spilling to a
+// map only for walks deeper than the common 0–2-tag case, and the
+// unresolved dependencies are collected only when the caller needs them
+// (Guess/Deliver open an interval; classification needs just the count).
+type depWalk struct {
+	t          *Tracker
+	seenArr    [16]ids.AID
+	seenN      int
+	seenMap    map[ids.AID]struct{}
+	unresolved int
+	collect    bool
+	deps       []ids.AID
+}
+
+func (w *depWalk) seen(x ids.AID) bool {
+	if w.seenMap != nil {
+		_, ok := w.seenMap[x]
+		return ok
+	}
+	for i := 0; i < w.seenN; i++ {
+		if w.seenArr[i] == x {
 			return true
 		}
-		a, ok := t.aids[x]
-		if !ok {
-			return true
+	}
+	return false
+}
+
+func (w *depWalk) mark(x ids.AID) {
+	if w.seenMap == nil {
+		if w.seenN < len(w.seenArr) {
+			w.seenArr[w.seenN] = x
+			w.seenN++
+			return
 		}
-		switch a.status {
-		case Unresolved:
-			deps.Add(x)
-		case Affirmed:
-		case Denied:
-			return false
-		case SpecAffirmed:
-			for _, y := range a.replacement.Elems() {
-				if !visit(y) {
-					return false
-				}
-			}
+		w.seenMap = make(map[ids.AID]struct{}, 2*len(w.seenArr))
+		for i := 0; i < w.seenN; i++ {
+			w.seenMap[w.seenArr[i]] = struct{}{}
 		}
+	}
+	w.seenMap[x] = struct{}{}
+}
+
+// visit returns false when it reaches a denied assumption (orphan).
+func (w *depWalk) visit(x ids.AID) bool {
+	if w.seen(x) {
 		return true
 	}
+	w.mark(x)
+	a, ok := w.t.aids[x]
+	if !ok {
+		return true
+	}
+	switch a.status {
+	case Unresolved:
+		w.unresolved++
+		if w.collect {
+			w.deps = append(w.deps, x)
+		}
+	case Affirmed:
+	case Denied:
+		return false
+	case SpecAffirmed:
+		if !a.replacement.Range(w.visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// classifyLocked computes the (settled, orphan) verdict for tags.
+// Caller holds t.mu (read or write).
+func (t *Tracker) classifyLocked(tags []ids.AID) (settled, orphan bool) {
+	w := depWalk{t: t}
 	for _, x := range tags {
-		if !visit(x) {
+		if !w.visit(x) {
+			return false, true
+		}
+	}
+	return w.unresolved == 0, false
+}
+
+// resolveDepsLocked expands tags into their unresolved transitive
+// dependencies, reporting orphan when a denied assumption is reached.
+// The returned slice is freshly built and deduplicated.
+func (t *Tracker) resolveDepsLocked(tags []ids.AID) ([]ids.AID, bool) {
+	w := depWalk{t: t, collect: true}
+	for _, x := range tags {
+		if !w.visit(x) {
 			return nil, true
 		}
 	}
-	return deps, false
+	return w.deps, false
 }
 
 func (t *Tracker) procLocked(p ids.Proc) (*procState, error) {
@@ -403,7 +557,7 @@ func (t *Tracker) aidLocked(x ids.AID) *aidState {
 
 // openIntervalLocked creates a speculative interval for p (Equations 1–5;
 // the PS checkpoint is the runtime's logIndex).
-func (t *Tracker) openIntervalLocked(ps *procState, logIndex int, implicit bool, deps *sets.Set[ids.AID]) *intervalState {
+func (t *Tracker) openIntervalLocked(ps *procState, logIndex int, implicit bool, deps []ids.AID) *intervalState {
 	iv := &intervalState{
 		id:           t.gen.NextInterval(),
 		proc:         ps.id,
@@ -417,19 +571,22 @@ func (t *Tracker) openIntervalLocked(ps *procState, logIndex int, implicit bool,
 	t.intervals[iv.id] = iv
 	// Equation 3: inherit the enclosing interval's dependencies.
 	if cur := ps.current(); cur != nil {
-		t.dependLocked(iv, cur.ido)
+		cur.ido.Range(func(x ids.AID) bool {
+			t.dependLocked(iv, x)
+			return true
+		})
 	}
-	t.dependLocked(iv, deps)
+	for _, x := range deps {
+		t.dependLocked(iv, x)
+	}
 	ps.live = append(ps.live, iv)
 	return iv
 }
 
 // dependLocked maintains the Lemma 5.1 symmetry (Equations 3 and 4).
-func (t *Tracker) dependLocked(iv *intervalState, deps *sets.Set[ids.AID]) {
-	for _, x := range deps.Elems() {
-		if iv.ido.Add(x) {
-			t.aidLocked(x).dom.Add(iv.id)
-		}
+func (t *Tracker) dependLocked(iv *intervalState, x ids.AID) {
+	if iv.ido.Add(x) {
+		t.aidLocked(x).dom.Add(iv.id)
 	}
 }
 
@@ -437,8 +594,8 @@ func (t *Tracker) dependLocked(iv *intervalState, deps *sets.Set[ids.AID]) {
 // interesting assumption with its DOM, and every live interval with its
 // IDO — for diagnosing wedged systems. Diagnostic use only.
 func (t *Tracker) DebugDump() string {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var b []byte
 	add := func(s string) { b = append(b, s...) }
 	aids := make([]ids.AID, 0, len(t.aids))
@@ -492,8 +649,8 @@ func (t *Tracker) DebugDump() string {
 //
 // Intended for tests and diagnostics; takes the tracker lock.
 func (t *Tracker) CheckInvariants() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 
 	for _, iv := range t.intervals {
 		if iv.status != speculative {
@@ -536,7 +693,7 @@ func (t *Tracker) CheckInvariants() error {
 
 // WasFinalized reports whether iv was made definite at some point.
 func (t *Tracker) WasFinalized(iv ids.Interval) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.finalizedIvs[iv]
 }
