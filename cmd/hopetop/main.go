@@ -1,0 +1,142 @@
+// Command hopetop runs a HOPE workload with the observability subsystem
+// attached and renders its speculation metrics — like top, but for
+// guesses: assumptions opened, affirm/deny resolutions, rollbacks and
+// replay depth, speculation lifetimes, queue and scheduler pressure.
+//
+//	hopetop                          # callstreaming workload, final metrics
+//	hopetop -w timewarp -interval 1s # live metrics while it runs
+//	hopetop -w callstreaming -trace trace.json   # Perfetto timeline
+//	hopetop -w fanout -json obs.json             # machine-readable snapshot
+//	hopetop -exp E12                             # run an experiment by ID
+//	hopetop -list                                # what can run
+//
+// The Chrome trace (-trace) loads in Perfetto (https://ui.perfetto.dev)
+// or chrome://tracing: each process is a track, each speculative interval
+// an async span from guess to settlement, with rollback and replay
+// instants marking the cascades.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"hope/internal/engine"
+	"hope/internal/experiments"
+	"hope/internal/obs"
+	"hope/internal/scenario"
+)
+
+func main() {
+	var (
+		wname    = flag.String("w", "callstreaming", "workload to run (see -list)")
+		scale    = flag.Int("scale", 0, "workload scale knob (0 = workload default)")
+		expID    = flag.String("exp", "", "run an experiment by ID (E1..) instead of a workload")
+		interval = flag.Duration("interval", 0, "live metrics refresh period (0 = final only)")
+		events   = flag.Int("events", 8192, "event ring capacity (0 = metrics only)")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event file (load in Perfetto)")
+		jsonOut  = flag.String("json", "", "write the observer snapshot as JSON")
+		showEv   = flag.Bool("dump-events", false, "print the recorded event stream")
+		list     = flag.Bool("list", false, "list workloads and experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads (-w):")
+		for _, s := range scenario.All() {
+			fmt.Printf("  %-14s %s (default scale %d)\n", s.Name, s.Desc, s.DefaultScale)
+		}
+		fmt.Println("experiments (-exp):")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	if *expID != "" {
+		for _, e := range experiments.All() {
+			if e.ID == *expID {
+				fmt.Printf("%s: %s\n\n", e.ID, e.Title)
+				if err := e.Run(os.Stdout); err != nil {
+					fatal(err)
+				}
+				return
+			}
+		}
+		fatal(fmt.Errorf("unknown experiment %q (try -list)", *expID))
+	}
+
+	spec, ok := scenario.Find(*wname)
+	if !ok {
+		fatal(fmt.Errorf("unknown workload %q (try -list)", *wname))
+	}
+
+	o := obs.New(obs.WithEventCapacity(*events))
+	done := make(chan struct{})
+	var (
+		res    scenario.Result
+		runErr error
+	)
+	go func() {
+		defer close(done)
+		res, runErr = spec.Run(*scale, engine.WithObserver(o))
+	}()
+
+	if *interval > 0 {
+		tick := time.NewTicker(*interval)
+		defer tick.Stop()
+	live:
+		for {
+			select {
+			case <-done:
+				break live
+			case <-tick.C:
+				fmt.Printf("--- %s t=%v\n%s", spec.Name, o.Now().Round(time.Millisecond), o.Dump())
+			}
+		}
+	} else {
+		<-done
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+
+	fmt.Printf("workload %s: %s in %v\n\n", spec.Name, res.Note, res.Elapsed.Round(10*time.Microsecond))
+	fmt.Print(o.Dump())
+	if *showEv {
+		fmt.Println()
+		fmt.Print(o.DumpEvents())
+	}
+
+	if *jsonOut != "" {
+		if err := writeFile(*jsonOut, o.WriteJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nsnapshot written to %s\n", *jsonOut)
+	}
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, o.WriteChromeTrace); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ntrace written to %s (open in https://ui.perfetto.dev)\n", *traceOut)
+	}
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hopetop:", err)
+	os.Exit(1)
+}

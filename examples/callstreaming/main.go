@@ -11,6 +11,10 @@
 // pessimistic path with the actual position.
 //
 //	go run ./examples/callstreaming -latency 5ms -jobs 20 -overflow 0.2
+//
+// With -obs the streamed run is instrumented and its speculation
+// metrics printed; -trace additionally exports a Chrome trace-event
+// timeline of the run (load it in https://ui.perfetto.dev).
 package main
 
 import (
@@ -39,6 +43,8 @@ func main() {
 	jobs := flag.Int("jobs", 20, "print jobs to run")
 	overflow := flag.Float64("overflow", 0.2, "probability a job overflows the page")
 	seed := flag.Int64("seed", 1, "workload seed")
+	obsFlag := flag.Bool("obs", false, "print speculation metrics for the streamed run")
+	traceOut := flag.String("trace", "", "write a Chrome trace of the streamed run (implies -obs)")
 	flag.Parse()
 
 	pageJobs := workload.PrintJobs(*jobs, pageSize, *overflow, *seed)
@@ -48,7 +54,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "callstreaming:", err)
 		os.Exit(1)
 	}
-	streamT, err := run(pageJobs, *latency, true)
+	var streamOpts []hope.Option
+	var o *hope.Observer
+	if *obsFlag || *traceOut != "" {
+		o = hope.NewObserver()
+		streamOpts = append(streamOpts, hope.WithObserver(o))
+	}
+	streamT, err := run(pageJobs, *latency, true, streamOpts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "callstreaming:", err)
 		os.Exit(1)
@@ -60,14 +72,32 @@ func main() {
 	fmt.Printf("  speedup: %.2fx  (gain %.0f%%)\n",
 		float64(syncT)/float64(streamT),
 		100*(1-float64(streamT)/float64(syncT)))
+	if o != nil {
+		fmt.Println()
+		fmt.Print(o.Dump())
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = o.WriteChromeTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "callstreaming: trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (open in https://ui.perfetto.dev)\n", *traceOut)
+	}
 }
 
 // run executes the print workload and returns the worker's makespan.
-func run(jobs []workload.PrintJob, latency time.Duration, streamed bool) (time.Duration, error) {
-	rt := hope.New(
+func run(jobs []workload.PrintJob, latency time.Duration, streamed bool, opts ...hope.Option) (time.Duration, error) {
+	rt := hope.New(append([]hope.Option{
 		hope.WithOutput(io.Discard),
 		hope.WithLatency(func(from, to string) time.Duration { return latency }),
-	)
+	}, opts...)...)
 	defer rt.Shutdown()
 
 	// The print server models Figure 1's print calls: a total print

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"hope/internal/engine"
+	"hope/internal/obs"
 	"hope/internal/timewarp"
 )
 
@@ -25,6 +26,7 @@ func main() {
 	horizon := flag.Int64("horizon", 300, "virtual-time horizon")
 	maxDelta := flag.Int64("maxdelta", 10, "max timestamp increment per hop")
 	seed := flag.Uint64("seed", 42, "workload seed")
+	obsFlag := flag.Bool("obs", false, "print speculation metrics for the Time Warp run")
 	flag.Parse()
 
 	cfg := timewarp.Config{
@@ -39,8 +41,14 @@ func main() {
 	seq := timewarp.Sequential(cfg)
 	seqT := time.Since(seqStart)
 
+	parOpts := []engine.Option{engine.WithOutput(io.Discard)}
+	var o *obs.Observer
+	if *obsFlag {
+		o = obs.New()
+		parOpts = append(parOpts, engine.WithObserver(o))
+	}
 	parStart := time.Now()
-	par, err := timewarp.Parallel(cfg, engine.WithOutput(io.Discard))
+	par, err := timewarp.Parallel(cfg, parOpts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "timewarp:", err)
 		os.Exit(1)
@@ -60,5 +68,9 @@ func main() {
 	fmt.Println("  committed event multisets identical ✓")
 	for lp, c := range par.Committed {
 		fmt.Printf("  lp%d committed %d events\n", lp, len(c))
+	}
+	if o != nil {
+		fmt.Println()
+		fmt.Print(o.Dump())
 	}
 }

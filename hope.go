@@ -56,6 +56,7 @@ import (
 	"time"
 
 	"hope/internal/engine"
+	"hope/internal/obs"
 	"hope/internal/tracker"
 )
 
@@ -119,3 +120,25 @@ func WithOutput(w io.Writer) Option { return engine.WithOutput(w) }
 func WithLatency(f func(from, to string) time.Duration) Option {
 	return engine.WithLatency(f)
 }
+
+// Observer is a runtime observability sink: metrics plus a ring-buffered
+// speculation-lifecycle event stream. See internal/obs.
+type Observer = obs.Observer
+
+// ObsEvent is one recorded speculation-lifecycle event.
+type ObsEvent = obs.Event
+
+// NewObserver creates an observability sink. Pass it to the runtime with
+// WithObserver, then read it at any time: Snapshot/WriteJSON for metrics,
+// Events for the lifecycle stream, WriteChromeTrace for a Perfetto
+// timeline, Dump for a terminal summary.
+func NewObserver(opts ...obs.Option) *Observer { return obs.New(opts...) }
+
+// WithEventCapacity sets the observer's event-ring capacity (default
+// 8192; 0 keeps metrics only).
+func WithEventCapacity(n int) obs.Option { return obs.WithEventCapacity(n) }
+
+// WithObserver attaches an observability sink to the runtime. Observation
+// is strictly runtime-side and cannot perturb replay; a nil observer is
+// the built-in no-op sink.
+func WithObserver(o *Observer) Option { return engine.WithObserver(o) }

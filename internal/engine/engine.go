@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hope/internal/obs"
 	"hope/internal/tracker"
 )
 
@@ -71,6 +72,14 @@ func WithOutput(w io.Writer) Option { return func(r *Runtime) { r.out = w } }
 // WithLatency installs a message latency model.
 func WithLatency(f LatencyFunc) Option { return func(r *Runtime) { r.latency = f } }
 
+// WithObserver attaches an observability sink (internal/obs): the
+// runtime and tracker emit speculation-lifecycle events and metrics
+// through it. A nil observer (the default) is the no-op sink — hook
+// points cost one nil check each. Observation is strictly runtime-side:
+// no engine decision ever reads observer state, so attaching one cannot
+// perturb piecewise-deterministic replay.
+func WithObserver(o *obs.Observer) Option { return func(r *Runtime) { r.obs = o } }
+
 // Runtime hosts one distributed HOPE program: a set of named processes,
 // their mailboxes, and the shared dependency tracker.
 type Runtime struct {
@@ -78,6 +87,7 @@ type Runtime struct {
 	out     io.Writer
 	outMu   sync.Mutex
 	latency LatencyFunc
+	obs     *obs.Observer
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -110,6 +120,7 @@ func New(opts ...Option) *Runtime {
 	for _, o := range opts {
 		o(r)
 	}
+	r.tr.SetObserver(r.obs)
 	// Wake pessimistic receivers (RecvSettled) whenever any assumption
 	// resolves: their deliverability depends on global resolution state,
 	// not just their own queue. Only the processes registered as blocked
@@ -151,6 +162,9 @@ func (r *Runtime) removeSettledWaiter(p *Proc) {
 // TrackerStats returns the dependency tracker's activity counters.
 func (r *Runtime) TrackerStats() tracker.Stats { return r.tr.Stats() }
 
+// Observer returns the attached observability sink (nil when none).
+func (r *Runtime) Observer() *obs.Observer { return r.obs }
+
 // Spawn starts a named process executing body in its own goroutine. The
 // body must follow the package's piecewise-determinism contract.
 func (r *Runtime) Spawn(name string, body func(*Proc) error) error {
@@ -166,6 +180,7 @@ func (r *Runtime) Spawn(name string, body func(*Proc) error) error {
 	p := &Proc{rt: r, name: name, body: body, state: stateRunning}
 	p.cond = sync.NewCond(&p.mu)
 	p.id = r.tr.Register((*procHooks)(p))
+	r.obs.RegisterProc(p.id, name)
 	r.procs[name] = p
 	r.mu.Unlock()
 

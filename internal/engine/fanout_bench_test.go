@@ -5,6 +5,8 @@ import (
 	"io"
 	"testing"
 	"time"
+
+	"hope/internal/obs"
 )
 
 // BenchmarkFanoutDelivery measures end-to-end delivery throughput at high
@@ -55,4 +57,51 @@ func BenchmarkFanoutDelivery(b *testing.B) {
 			b.ReportMetric(float64(receivers*rounds), "msgs/op")
 		})
 	}
+}
+
+// BenchmarkFanoutDeliveryObserved is the same workload with an obs sink
+// attached, isolating the cost of metrics emission on the delivery path
+// (compare against BenchmarkFanoutDelivery, which runs the no-op sink —
+// a nil observer, one nil check per hook point).
+func BenchmarkFanoutDeliveryObserved(b *testing.B) {
+	const receivers, rounds = 8, 16
+	o := obs.New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rt := New(
+			WithOutput(io.Discard),
+			WithLatency(func(from, to string) time.Duration { return 100 * time.Microsecond }),
+			WithObserver(o),
+		)
+		for r := 0; r < receivers; r++ {
+			name := fmt.Sprintf("rx%d", r)
+			if err := rt.Spawn(name, func(p *Proc) error {
+				for j := 0; j < rounds; j++ {
+					if _, err := p.Recv(); err != nil {
+						return nil
+					}
+				}
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := rt.Spawn("tx", func(p *Proc) error {
+			for j := 0; j < rounds; j++ {
+				for r := 0; r < receivers; r++ {
+					if err := p.Send(fmt.Sprintf("rx%d", r), j); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if errs := rt.Wait(); errs != nil {
+			b.Fatalf("wait: %v", errs)
+		}
+		rt.Shutdown()
+	}
+	b.ReportMetric(float64(receivers*rounds), "msgs/op")
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"hope/internal/ids"
+	"hope/internal/obs"
 	"hope/internal/tracker"
 )
 
@@ -179,6 +180,7 @@ func (p *Proc) classifyQueueLocked() {
 			stale++
 		}
 	}
+	p.rt.obs.ClassifyScan(len(p.queue)-stale, stale)
 	if stale == 0 {
 		return
 	}
@@ -236,10 +238,12 @@ func (p *Proc) enqueue(m *rmsg) {
 	p.rt.mu.Lock()
 	p.mu.Lock()
 	p.queue = append(p.queue, m)
+	depth := len(p.queue)
 	p.cond.Broadcast()
 	p.mu.Unlock()
 	p.rt.cond.Broadcast()
 	p.rt.mu.Unlock()
+	p.rt.obs.MsgEnqueued(depth)
 }
 
 // wake re-evaluates park/recv conditions (registered as a finalize
@@ -299,6 +303,7 @@ func (p *Proc) applyPending() {
 		return
 	}
 	tgt := *tgtp
+	p.rt.obs.Emit(obs.KRollbackStarted, p.id, ids.NoAID, ids.NoInterval, int64(tgt.LogIndex))
 	rel := tgt.LogIndex - p.logBase
 	if rel < 0 || rel >= len(p.log) {
 		// Internal invariant: targets are merged under the tracker lock
@@ -326,6 +331,12 @@ func (p *Proc) applyPending() {
 	p.log = p.log[:cut]
 	p.queue = append(requeue, p.queue...)
 	p.replay = 0
+	if len(p.log) == 0 {
+		// Nothing survived the cut: the attempt restarts from scratch with
+		// no replay phase, so record the zero-depth replay here (next()
+		// never fires for an empty log).
+		p.rt.obs.Emit(obs.KReplayed, p.id, ids.NoAID, ids.NoInterval, 0)
+	}
 }
 
 // park blocks a completed body until its speculation settles, the runtime
@@ -375,6 +386,9 @@ func (p *Proc) next(kind entryKind, aid ids.AID) entry {
 			ErrNondeterministic, e, kind, aid)})
 	}
 	p.replay++
+	if p.replay == len(p.log) {
+		p.rt.obs.Emit(obs.KReplayed, p.id, ids.NoAID, ids.NoInterval, int64(len(p.log)))
+	}
 	return e
 }
 

@@ -65,6 +65,7 @@ func (s *sched) schedule(r *Runtime, d *delivery) {
 	}
 	s.tails[d.key] = nil
 	heap.Push(&s.heads, d)
+	r.obs.SchedHeap(len(s.heads))
 	newHead := s.heads[0] == d
 	if !s.running {
 		s.running = true
@@ -164,8 +165,8 @@ func (h dheap) Less(i, j int) bool {
 	}
 	return h[i].msg.seq < h[j].msg.seq
 }
-func (h dheap) Swap(i, j int)  { h[i], h[j] = h[j], h[i] }
-func (h *dheap) Push(x any)    { *h = append(*h, x.(*delivery)) }
+func (h dheap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *dheap) Push(x any)   { *h = append(*h, x.(*delivery)) }
 func (h *dheap) Pop() any {
 	old := *h
 	n := len(old)

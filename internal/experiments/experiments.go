@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one runner per
-// experiment in EXPERIMENTS.md (E1–E11), each regenerating a table whose
+// experiment in EXPERIMENTS.md (E1–E12), each regenerating a table whose
 // shape is compared against the paper's claims. The hopebench command and
 // the top-level benchmark suite are thin wrappers over these runners.
 //
@@ -42,6 +42,7 @@ func All() []Experiment {
 		{ID: "E9", Title: "Ablation: Loop log compaction (§7 checkpointing future work)", Run: E9LoopCompaction},
 		{ID: "E10", Title: "Ablation: WorryWart verifier pool size", Run: E10VerifierPool},
 		{ID: "E11", Title: "Tracker scaling: epoch-cached classification under fanout", Run: E11TrackerScaling},
+		{ID: "E12", Title: "Speculation lifecycle via obs (affirm/deny ratio, replay depth)", Run: E12SpeculationObservability},
 	}
 }
 

@@ -20,6 +20,12 @@ var runtimePackages = map[string]bool{
 	"hope/internal/ids":       true,
 	"hope/internal/sets":      true,
 	"hope/internal/semantics": true,
+	// obs is observation, not computation: its hook methods are
+	// write-only from the runtime's point of view (nothing the body can
+	// read back), so calling e.g. Observer.Annotate from a body cannot
+	// introduce replay divergence even though obs internally reads
+	// clocks and takes locks.
+	"hope/internal/obs": true,
 }
 
 // funcKey identifies one analyzed function by the position of its

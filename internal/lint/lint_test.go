@@ -103,6 +103,10 @@ func TestCaptureRule(t *testing.T)        { runFixture(t, "capture", false) }
 func TestConflictRule(t *testing.T)       { runFixture(t, "conflict", false) }
 func TestDiscoveryEdgeCases(t *testing.T) { runFixture(t, "edge", false) }
 
+// Calls into the obs layer are exempt (runtime-side, write-only), but
+// nondeterminism in the body itself is still flagged.
+func TestObsExemption(t *testing.T) { runFixture(t, "obsuse", false) }
+
 // Test files are excluded by default and analyzed with -tests.
 func TestTestFilesExcludedByDefault(t *testing.T) { runFixture(t, "testmode", false) }
 func TestTestFilesIncluded(t *testing.T)          { runFixture(t, "testmode", true) }

@@ -1,0 +1,33 @@
+// Package obsuse exercises the runtime-package exemption for the
+// observability layer: obs hook methods are runtime-side and write-only
+// from a body's point of view, so calling them is legal even though obs
+// internally reads clocks — while direct nondeterminism in the body is
+// still flagged.
+package obsuse
+
+import (
+	"time"
+
+	"hope/internal/engine"
+	"hope/internal/obs"
+)
+
+func Run(o *obs.Observer) error {
+	rt := engine.New(engine.WithObserver(o))
+	return rt.Spawn("p", func(p *engine.Proc) error {
+		// Legal: the walk must not descend into obs internals (which
+		// call time.Now and take locks) — observation cannot feed back
+		// into the body's control flow.
+		o.Annotate("p", "phase-1")
+		_ = o.Metrics()
+
+		// Still illegal: the body reading the clock itself diverges
+		// under replay, no matter where the value flows afterwards.
+		start := time.Now() // want `call to time.Now`
+		o.Annotate("p", start.String())
+		_ = time.Since(start) // want `call to time.Since`
+
+		p.Printf("done\n")
+		return nil
+	})
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Chrome trace-event export: renders the retained event window in the
+// Trace Event Format consumed by chrome://tracing and Perfetto
+// (ui.perfetto.dev → "Open trace file"). Each HOPE process becomes a
+// thread; each speculative interval becomes an async span from its
+// opening guess (or tainted delivery) to its commit or rollback, so a
+// rollback cascade reads as a column of spans all ending in
+// outcome=rolled-back, flanked by the deny that caused it and the
+// replay markers that follow.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	PID   int            `json:"pid"`
+	TID   uint64         `json:"tid"`
+	ID    string         `json:"id,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const chromePID = 1
+
+// WriteChromeTrace exports the event window as a Chrome trace. Returns
+// an error only on write/encode failure; an observer without an event
+// ring produces a trace with metadata only.
+func (o *Observer) WriteChromeTrace(w io.Writer) error {
+	events, dropped := o.Events()
+
+	tr := chromeTrace{DisplayTimeUnit: "ms"}
+	add := func(e chromeEvent) { tr.TraceEvents = append(tr.TraceEvents, e) }
+
+	add(chromeEvent{
+		Name: "process_name", Phase: "M", PID: chromePID,
+		Args: map[string]any{"name": "hope runtime"},
+	})
+	if o != nil {
+		o.mu.RLock()
+		for id, name := range o.names {
+			add(chromeEvent{
+				Name: "thread_name", Phase: "M", PID: chromePID, TID: uint64(id),
+				Args: map[string]any{"name": name},
+			})
+		}
+		o.mu.RUnlock()
+	}
+
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	var lastT time.Duration
+
+	// open tracks the spans begun but not yet settled in the window,
+	// interval id → the "b" event's identity, so unsettled spans can be
+	// closed as outcome=live at export time.
+	type openSpan struct {
+		name string
+		tid  uint64
+	}
+	open := make(map[string]openSpan)
+
+	if dropped > 0 {
+		add(chromeEvent{
+			Name: fmt.Sprintf("%d earlier events dropped (ring overflow)", dropped),
+			Cat:  "obs", Phase: "i", TS: 0, PID: chromePID, Scope: "g",
+		})
+	}
+
+	for _, e := range events {
+		if e.T > lastT {
+			lastT = e.T
+		}
+		tid := uint64(e.Proc)
+		switch e.Kind {
+		case KGuessOpened, KMsgTainted:
+			kind := "guess"
+			if e.Kind == KMsgTainted {
+				kind = "delivery"
+			}
+			name := e.Interval.String()
+			id := fmt.Sprintf("iv%d", uint64(e.Interval))
+			open[id] = openSpan{name: name, tid: tid}
+			add(chromeEvent{
+				Name: name, Cat: "speculation", Phase: "b", TS: us(e.T),
+				PID: chromePID, TID: tid, ID: id,
+				Args: map[string]any{"aid": e.AID.String(), "opened_by": kind},
+			})
+		case KCommitted, KRolledBack:
+			outcome := "committed"
+			if e.Kind == KRolledBack {
+				outcome = "rolled-back"
+			}
+			id := fmt.Sprintf("iv%d", uint64(e.Interval))
+			name := e.Interval.String()
+			if sp, ok := open[id]; ok {
+				name = sp.name
+				delete(open, id)
+			}
+			add(chromeEvent{
+				Name: name, Cat: "speculation", Phase: "e", TS: us(e.T),
+				PID: chromePID, TID: tid, ID: id,
+				Args: map[string]any{"outcome": outcome, "lifetime": time.Duration(e.N).String()},
+			})
+		case KAffirmed, KSpecAffirmed, KDenied, KSpecDenied, KFreeOf:
+			add(chromeEvent{
+				Name: fmt.Sprintf("%s %s", e.Kind, e.AID), Cat: "resolution",
+				Phase: "i", TS: us(e.T), PID: chromePID, TID: tid, Scope: "t",
+			})
+		case KRollbackStarted:
+			add(chromeEvent{
+				Name: fmt.Sprintf("rollback → log %d", e.N), Cat: "rollback",
+				Phase: "i", TS: us(e.T), PID: chromePID, TID: tid, Scope: "t",
+			})
+		case KReplayed:
+			add(chromeEvent{
+				Name: fmt.Sprintf("replayed %d entries", e.N), Cat: "rollback",
+				Phase: "i", TS: us(e.T), PID: chromePID, TID: tid, Scope: "t",
+			})
+		case KOrphanDropped:
+			add(chromeEvent{
+				Name: "orphan dropped", Cat: "delivery",
+				Phase: "i", TS: us(e.T), PID: chromePID, TID: tid, Scope: "t",
+			})
+		case KEffectReleased, KEffectAborted:
+			verb := "released"
+			if e.Kind == KEffectAborted {
+				verb = "aborted"
+			}
+			add(chromeEvent{
+				Name: fmt.Sprintf("%d effects %s", e.N, verb), Cat: "effect",
+				Phase: "i", TS: us(e.T), PID: chromePID, TID: tid, Scope: "t",
+			})
+		case KAnnotate:
+			add(chromeEvent{
+				Name: e.Label, Cat: "app",
+				Phase: "i", TS: us(e.T), PID: chromePID, TID: tid, Scope: "t",
+			})
+		}
+	}
+
+	// Close still-speculative spans at the window's end so Perfetto does
+	// not discard them as unmatched.
+	for id, sp := range open {
+		add(chromeEvent{
+			Name: sp.name, Cat: "speculation", Phase: "e", TS: us(lastT),
+			PID: chromePID, TID: sp.tid, ID: id,
+			Args: map[string]any{"outcome": "live"},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket histogram with atomic counters: Observe is
+// lock-free and allocation-free, safe from any goroutine. Bucket i counts
+// observations v ≤ bounds[i]; the final bucket is unbounded.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64
+	sum    atomic.Int64
+	n      atomic.Int64
+	max    atomic.Int64
+}
+
+func newHistogram(bounds ...int64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+	atomicMax(&h.max, v)
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra final
+	// entry for the unbounded bucket.
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+	Max    int64   `json:"max"`
+}
+
+// Snapshot copies the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.n.Load(),
+		Sum:    h.sum.Load(),
+		Max:    h.max.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Mean returns the average observed value, or 0 with no observations.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// atomicMax raises *g to v if v is larger.
+func atomicMax(g *atomic.Int64, v int64) {
+	for {
+		cur := g.Load()
+		if v <= cur || g.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// specLifetimeBounds buckets guess→resolution latency (nanoseconds):
+// 1µs … 10s, decades.
+var specLifetimeBounds = []int64{
+	int64(time.Microsecond), int64(10 * time.Microsecond), int64(100 * time.Microsecond),
+	int64(time.Millisecond), int64(10 * time.Millisecond), int64(100 * time.Millisecond),
+	int64(time.Second), int64(10 * time.Second),
+}
+
+// replayDepthBounds buckets replay-log entries re-consumed per rollback.
+var replayDepthBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024}
+
+// Metrics is the registry of runtime activity counters, gauges, and
+// histograms. All fields are updated atomically; read them through
+// Snapshot. It extends tracker.Stats (bare interval accounting) with the
+// delivery-, replay- and cache-side signals the tracker cannot see.
+type Metrics struct {
+	// Speculation lifecycle.
+	GuessesOpened atomic.Int64 // explicit guesses that opened an interval
+	ShortGuesses  atomic.Int64 // guesses short-circuited on resolved AIDs
+	MsgsTainted   atomic.Int64 // implicit-guess intervals from tagged deliveries
+	Orphans       atomic.Int64 // orphaned messages dropped at delivery
+
+	// Resolutions.
+	Affirms     atomic.Int64
+	SpecAffirms atomic.Int64
+	Denies      atomic.Int64
+	SpecDenies  atomic.Int64
+	FreeOfs     atomic.Int64
+
+	// Interval settlement.
+	Committed  atomic.Int64 // intervals finalized
+	RolledBack atomic.Int64 // intervals discarded by rollback cascades
+
+	// Rollback/replay machinery.
+	Rollbacks      atomic.Int64 // rollback targets applied (process restarts)
+	ReplayedEnts   atomic.Int64 // replay-log entries re-consumed, total
+	EffectsRun     atomic.Int64 // commit callbacks released
+	EffectsAborted atomic.Int64 // abort compensations run
+
+	// Delivery and scheduling.
+	MsgsEnqueued  atomic.Int64
+	MaxQueueDepth atomic.Int64 // deepest single-process mailbox observed
+	MaxSchedHeap  atomic.Int64 // deepest delivery-scheduler heap observed
+
+	// Classification cache (engine queue scans).
+	ClassifyHits   atomic.Int64 // memoized verdicts revalidated by epoch
+	ClassifyMisses atomic.Int64 // verdicts recomputed under the tracker lock
+
+	Annotations atomic.Int64
+
+	// SpecLifetime is guess→resolution latency (ns), observed at both
+	// commit and rollback. ReplayDepth is log entries replayed per
+	// rollback.
+	SpecLifetime *Histogram
+	ReplayDepth  *Histogram
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		SpecLifetime: newHistogram(specLifetimeBounds...),
+		ReplayDepth:  newHistogram(replayDepthBounds...),
+	}
+}
+
+// MetricsSnapshot is the plain-value form of Metrics, for JSON export
+// and programmatic reads.
+type MetricsSnapshot struct {
+	GuessesOpened int64 `json:"guesses_opened"`
+	ShortGuesses  int64 `json:"short_guesses"`
+	MsgsTainted   int64 `json:"msgs_tainted"`
+	Orphans       int64 `json:"orphans"`
+
+	Affirms     int64 `json:"affirms"`
+	SpecAffirms int64 `json:"spec_affirms"`
+	Denies      int64 `json:"denies"`
+	SpecDenies  int64 `json:"spec_denies"`
+	FreeOfs     int64 `json:"free_ofs"`
+
+	Committed  int64 `json:"committed"`
+	RolledBack int64 `json:"rolled_back"`
+
+	Rollbacks      int64 `json:"rollbacks"`
+	ReplayedEnts   int64 `json:"replayed_entries"`
+	EffectsRun     int64 `json:"effects_released"`
+	EffectsAborted int64 `json:"effects_aborted"`
+
+	MsgsEnqueued  int64 `json:"msgs_enqueued"`
+	MaxQueueDepth int64 `json:"max_queue_depth"`
+	MaxSchedHeap  int64 `json:"max_sched_heap"`
+
+	ClassifyHits   int64 `json:"classify_hits"`
+	ClassifyMisses int64 `json:"classify_misses"`
+
+	Annotations int64 `json:"annotations"`
+
+	SpecLifetime HistogramSnapshot `json:"spec_lifetime_ns"`
+	ReplayDepth  HistogramSnapshot `json:"replay_depth"`
+}
+
+// Snapshot copies every counter and histogram.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		GuessesOpened: m.GuessesOpened.Load(),
+		ShortGuesses:  m.ShortGuesses.Load(),
+		MsgsTainted:   m.MsgsTainted.Load(),
+		Orphans:       m.Orphans.Load(),
+
+		Affirms:     m.Affirms.Load(),
+		SpecAffirms: m.SpecAffirms.Load(),
+		Denies:      m.Denies.Load(),
+		SpecDenies:  m.SpecDenies.Load(),
+		FreeOfs:     m.FreeOfs.Load(),
+
+		Committed:  m.Committed.Load(),
+		RolledBack: m.RolledBack.Load(),
+
+		Rollbacks:      m.Rollbacks.Load(),
+		ReplayedEnts:   m.ReplayedEnts.Load(),
+		EffectsRun:     m.EffectsRun.Load(),
+		EffectsAborted: m.EffectsAborted.Load(),
+
+		MsgsEnqueued:  m.MsgsEnqueued.Load(),
+		MaxQueueDepth: m.MaxQueueDepth.Load(),
+		MaxSchedHeap:  m.MaxSchedHeap.Load(),
+
+		ClassifyHits:   m.ClassifyHits.Load(),
+		ClassifyMisses: m.ClassifyMisses.Load(),
+
+		Annotations: m.Annotations.Load(),
+
+		SpecLifetime: m.SpecLifetime.Snapshot(),
+		ReplayDepth:  m.ReplayDepth.Snapshot(),
+	}
+}

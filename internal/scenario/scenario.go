@@ -1,0 +1,240 @@
+// Package scenario provides small, self-contained HOPE workloads shared
+// by cmd/hopetop, cmd/hopebench, the experiments, and the examples. Each
+// workload accepts engine options so callers can attach an observability
+// sink (engine.WithObserver) or a latency model without the workload
+// knowing; the workloads themselves only exercise the primitives.
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hope/internal/engine"
+	"hope/internal/rpc"
+	"hope/internal/timewarp"
+	"hope/internal/workload"
+)
+
+// Result summarizes one workload run.
+type Result struct {
+	// Elapsed is the workload makespan including settlement (Quiesce).
+	Elapsed time.Duration
+	// Note is a one-line workload-specific outcome summary.
+	Note string
+}
+
+// Spec names one runnable workload. Scale is the workload's single size
+// knob (jobs, rounds, population — see Desc); 0 means the default.
+type Spec struct {
+	Name         string
+	Desc         string
+	DefaultScale int
+	Run          func(scale int, opts ...engine.Option) (Result, error)
+}
+
+// All lists the available workloads.
+func All() []Spec {
+	return []Spec{
+		{
+			Name:         "callstreaming",
+			Desc:         "Figure-2 streamed print calls; scale = jobs, 25% overflow forces rollbacks",
+			DefaultScale: 200,
+			Run:          CallStreaming,
+		},
+		{
+			Name:         "fanout",
+			Desc:         "one sender broadcasting to 16 receivers under latency; scale = rounds",
+			DefaultScale: 64,
+			Run:          Fanout,
+		},
+		{
+			Name:         "timewarp",
+			Desc:         "PHOLD Time Warp simulation; scale = event population",
+			DefaultScale: 8,
+			Run:          TimeWarp,
+		},
+	}
+}
+
+// Find returns the named workload.
+func Find(name string) (Spec, bool) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// CallStreaming runs the paper's Figure-2 workload: a worker streams
+// print calls at a stateful print server, predicting the reply under the
+// PartPage assumption. A quarter of the jobs overflow the page, so the
+// WorryWart denies those assumptions and the worker replays onto the
+// pessimistic path — a steady mix of affirms, denies, and rollbacks.
+func CallStreaming(jobs int, opts ...engine.Option) (Result, error) {
+	if jobs <= 0 {
+		jobs = 200
+	}
+	const (
+		pageSize = 50
+		overflow = 0.25
+	)
+	pageJobs := workload.PrintJobs(jobs, pageSize, overflow, 1)
+
+	rt := engine.New(append([]engine.Option{
+		engine.WithOutput(io.Discard),
+		engine.WithLatency(func(from, to string) time.Duration { return 200 * time.Microsecond }),
+	}, opts...)...)
+	defer rt.Shutdown()
+
+	type printReq struct {
+		Total bool
+		Lines int
+	}
+	if err := rpc.ServeStateful(rt, "printer", func() rpc.Handler {
+		line := 0
+		return func(req any) any {
+			r := req.(printReq)
+			if r.Total {
+				line = r.Lines
+				for line >= pageSize {
+					line -= pageSize
+				}
+			} else {
+				line++
+			}
+			return line
+		}
+	}); err != nil {
+		return Result{}, err
+	}
+	client, err := rpc.NewClient(rt, "worker")
+	if err != nil {
+		return Result{}, err
+	}
+
+	wrong := 0
+	start := time.Now()
+	if err := rt.Spawn("worker", func(p *engine.Proc) error {
+		s := client.Session(p)
+		local := 0
+		miss := 0
+		call := func(req printReq, predicted int) error {
+			got, accurate, err := s.StreamCall("printer", req, predicted)
+			if err != nil {
+				return err
+			}
+			if !accurate {
+				miss++
+			}
+			local = got.(int)
+			return nil
+		}
+		for _, job := range pageJobs {
+			if err := call(printReq{Total: true, Lines: job.Lines}, job.Lines); err != nil {
+				return err
+			}
+			if err := call(printReq{}, local+1); err != nil {
+				return err
+			}
+		}
+		// Committed effect, not a body write: rollback could not undo
+		// an escape write, and replay would repeat it.
+		p.Effect(func() { wrong = miss }, nil)
+		return nil
+	}); err != nil {
+		return Result{}, err
+	}
+	rt.Quiesce()
+	elapsed := time.Since(start)
+	rt.Shutdown()
+	for _, err := range rt.Wait() {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{
+		Elapsed: elapsed,
+		Note:    fmt.Sprintf("%d streamed calls, %d mispredicted", 2*jobs, wrong),
+	}, nil
+}
+
+// Fanout broadcasts rounds of messages from one sender to 16 receivers
+// under a latency model — the delivery-scheduler hot path
+// (BenchmarkFanoutDelivery's shape), useful for queue-depth and
+// heap-size metrics and as the instrumentation-overhead baseline.
+func Fanout(rounds int, opts ...engine.Option) (Result, error) {
+	if rounds <= 0 {
+		rounds = 64
+	}
+	const receivers = 16
+	rt := engine.New(append([]engine.Option{
+		engine.WithOutput(io.Discard),
+		engine.WithLatency(func(from, to string) time.Duration { return 50 * time.Microsecond }),
+	}, opts...)...)
+	defer rt.Shutdown()
+
+	start := time.Now()
+	for r := 0; r < receivers; r++ {
+		name := fmt.Sprintf("rx%d", r)
+		if err := rt.Spawn(name, func(p *engine.Proc) error {
+			for j := 0; j < rounds; j++ {
+				if _, err := p.Recv(); err != nil {
+					return nil
+				}
+			}
+			return nil
+		}); err != nil {
+			return Result{}, err
+		}
+	}
+	if err := rt.Spawn("tx", func(p *engine.Proc) error {
+		for j := 0; j < rounds; j++ {
+			for r := 0; r < receivers; r++ {
+				if err := p.Send(fmt.Sprintf("rx%d", r), j); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return Result{}, err
+	}
+	for _, err := range rt.Wait() {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	return Result{
+		Elapsed: elapsed,
+		Note:    fmt.Sprintf("%d messages delivered", receivers*rounds),
+	}, nil
+}
+
+// TimeWarp runs the PHOLD discrete-event simulation as a HOPE Time Warp
+// (§2's related-work claim): stragglers deny message-order assumptions,
+// driving deep rollback cascades across the logical processes.
+func TimeWarp(population int, opts ...engine.Option) (Result, error) {
+	if population <= 0 {
+		population = 8
+	}
+	cfg := timewarp.Config{
+		LPs:        4,
+		Population: population,
+		Horizon:    300,
+		MaxDelta:   10,
+		Seed:       42,
+	}
+	start := time.Now()
+	res, err := timewarp.Parallel(cfg, append([]engine.Option{engine.WithOutput(io.Discard)}, opts...)...)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Elapsed: time.Since(start),
+		Note: fmt.Sprintf("%d events, %d rollbacks, %d stragglers",
+			res.Events, res.Rollbacks, res.Stragglers),
+	}, nil
+}

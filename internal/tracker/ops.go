@@ -1,8 +1,20 @@
 package tracker
 
 import (
+	"time"
+
 	"hope/internal/ids"
+	"hope/internal/obs"
 )
+
+// lifetime returns iv's age for the speculation-lifetime histogram (0
+// when unobserved, so the no-op path never reads the clock).
+func (t *Tracker) lifetime(iv *intervalState) int64 {
+	if t.obs == nil || iv.openedAt.IsZero() {
+		return 0
+	}
+	return int64(time.Since(iv.openedAt))
+}
 
 // GuessOutcome is the result of a Guess call.
 type GuessOutcome struct {
@@ -33,26 +45,31 @@ func (t *Tracker) Guess(p ids.Proc, x ids.AID, logIndex int) (GuessOutcome, erro
 	case Affirmed:
 		t.stats.ShortGuesses++
 		t.mu.Unlock()
+		t.obs.Emit(obs.KGuessShort, p, x, ids.NoInterval, 1)
 		return GuessOutcome{Result: true}, nil
 	case Denied:
 		t.stats.ShortGuesses++
 		t.mu.Unlock()
+		t.obs.Emit(obs.KGuessShort, p, x, ids.NoInterval, 0)
 		return GuessOutcome{Result: false}, nil
 	}
 	deps, orphan := t.resolveDepsLocked([]ids.AID{x})
 	if orphan {
 		t.stats.ShortGuesses++
 		t.mu.Unlock()
+		t.obs.Emit(obs.KGuessShort, p, x, ids.NoInterval, 0)
 		return GuessOutcome{Result: false}, nil
 	}
 	if len(deps) == 0 {
 		t.stats.ShortGuesses++
 		t.mu.Unlock()
+		t.obs.Emit(obs.KGuessShort, p, x, ids.NoInterval, 1)
 		return GuessOutcome{Result: true}, nil
 	}
 	iv := t.openIntervalLocked(ps, logIndex, false, deps)
 	t.stats.Guesses++
 	t.mu.Unlock()
+	t.obs.Emit(obs.KGuessOpened, p, x, iv.id, 0)
 	return GuessOutcome{Result: true, Interval: iv.id}, nil
 }
 
@@ -83,6 +100,7 @@ func (t *Tracker) Deliver(p ids.Proc, tags []ids.AID, logIndex int) (DeliverOutc
 	if orphan {
 		t.stats.Orphans++
 		t.mu.Unlock()
+		t.obs.Emit(obs.KOrphanDropped, p, ids.NoAID, ids.NoInterval, 0)
 		return DeliverOutcome{Orphan: true}, nil
 	}
 	if len(deps) == 0 {
@@ -92,6 +110,7 @@ func (t *Tracker) Deliver(p ids.Proc, tags []ids.AID, logIndex int) (DeliverOutc
 	iv := t.openIntervalLocked(ps, logIndex, true, deps)
 	t.stats.ImplicitGuesses++
 	t.mu.Unlock()
+	t.obs.Emit(obs.KMsgTainted, p, ids.NoAID, iv.id, int64(len(deps)))
 	return DeliverOutcome{Interval: iv.id}, nil
 }
 
@@ -133,6 +152,7 @@ func (t *Tracker) affirmLocked(ps *procState, x ids.AID, ctx *opCtx) error {
 		a.claimed = true
 		a.status = Affirmed
 		t.stats.DefiniteAffirms++
+		t.obs.Emit(obs.KAffirmed, ps.id, x, ids.NoInterval, 0)
 		for _, bID := range a.dom.Elems() {
 			b := t.intervals[bID]
 			if b == nil || b.status != speculative {
@@ -154,6 +174,7 @@ func (t *Tracker) affirmLocked(ps *procState, x ids.AID, ctx *opCtx) error {
 		a.replacement = repl
 		cur.specAffirmed.Add(x)
 		t.stats.SpecAffirms++
+		t.obs.Emit(obs.KSpecAffirmed, ps.id, x, cur.id, 0)
 		idoSnap := cur.ido.Clone()
 		for _, bID := range a.dom.Elems() {
 			b := t.intervals[bID]
@@ -214,6 +235,7 @@ func (t *Tracker) denyLocked(ps *procState, x ids.AID, ctx *opCtx) error {
 		a.claimed = true
 		a.status = Denied
 		t.stats.DefiniteDenies++
+		t.obs.Emit(obs.KDenied, ps.id, x, ids.NoInterval, 0)
 		t.rollbackDependentsLocked(a, ctx)
 	} else {
 		// Speculative deny (Equation 16).
@@ -221,6 +243,7 @@ func (t *Tracker) denyLocked(ps *procState, x ids.AID, ctx *opCtx) error {
 		a.claimedBy = cur.id
 		cur.ihd.Add(x)
 		t.stats.SpecDenies++
+		t.obs.Emit(obs.KSpecDenied, ps.id, x, cur.id, 0)
 	}
 	return nil
 }
@@ -240,6 +263,7 @@ func (t *Tracker) FreeOf(p ids.Proc, x ids.AID) error {
 		return ErrRolledBack
 	}
 	t.stats.FreeOfs++
+	t.obs.Emit(obs.KFreeOf, p, x, ids.NoInterval, 0)
 	ctx := t.newOpCtxLocked()
 	a := t.aidLocked(x)
 	if a.status == Denied {
@@ -302,6 +326,10 @@ func (t *Tracker) finalizeLocked(iv *intervalState, ctx *opCtx) {
 	ctx.resolved = true
 	t.finalizedIvs[iv.id] = true
 	t.stats.Finalized++
+	t.obs.Emit(obs.KCommitted, iv.proc, ids.NoAID, iv.id, t.lifetime(iv))
+	if n := len(iv.commits); n > 0 {
+		t.obs.Emit(obs.KEffectReleased, iv.proc, ids.NoAID, iv.id, int64(n))
+	}
 	ps := t.procs[iv.proc]
 	removeInterval(ps, iv)
 
@@ -324,6 +352,7 @@ func (t *Tracker) finalizeLocked(iv *intervalState, ctx *opCtx) {
 		a.status = Denied
 		a.claimedBy = ids.NoInterval
 		t.stats.DefiniteDenies++
+		t.obs.Emit(obs.KDenied, iv.proc, x, ids.NoInterval, 0)
 		t.rollbackDependentsLocked(a, ctx)
 	}
 }
@@ -361,6 +390,10 @@ func (t *Tracker) rollbackFromLocked(iv *intervalState, ctx *opCtx) {
 		b := suffix[i]
 		b.status = rolledBack
 		t.stats.RolledBack++
+		t.obs.Emit(obs.KRolledBack, b.proc, ids.NoAID, b.id, t.lifetime(b))
+		if n := len(b.aborts); n > 0 {
+			t.obs.Emit(obs.KEffectAborted, b.proc, ids.NoAID, b.id, int64(n))
+		}
 		for _, x := range b.ido.Elems() {
 			t.aidLocked(x).dom.Remove(b.id)
 		}

@@ -35,8 +35,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hope/internal/ids"
+	"hope/internal/obs"
 	"hope/internal/sets"
 )
 
@@ -137,10 +139,14 @@ type aidState struct {
 }
 
 type intervalState struct {
-	id           ids.Interval
-	proc         ids.Proc
-	logIndex     int
-	implicit     bool
+	id       ids.Interval
+	proc     ids.Proc
+	logIndex int
+	implicit bool
+	// openedAt is the wall-clock birth of the interval, stamped only
+	// when an observer is attached (it feeds the speculation-lifetime
+	// histogram at settlement).
+	openedAt     time.Time
 	ido          *sets.Set[ids.AID]
 	ihd          *sets.Set[ids.AID]
 	specAffirmed *sets.Set[ids.AID]
@@ -198,6 +204,10 @@ type Tracker struct {
 	// requeue-sanity assertion (a finalized receive must never be
 	// redelivered).
 	finalizedIvs map[ids.Interval]bool
+	// obs is the observability sink (nil = no-op). Hook points emit
+	// lifecycle events through it; nothing in the tracker ever reads it,
+	// so observation cannot perturb dependency state or replay.
+	obs *obs.Observer
 }
 
 // New returns an empty tracker.
@@ -213,6 +223,11 @@ func New() *Tracker {
 	t.epoch.Store(1)
 	return t
 }
+
+// SetObserver attaches the observability sink (nil detaches). Call it
+// before the tracker sees traffic: the field is read without
+// synchronization on every operation.
+func (t *Tracker) SetObserver(o *obs.Observer) { t.obs = o }
 
 // Register adds a process. The returned identifier names it in all
 // subsequent calls.
@@ -567,6 +582,9 @@ func (t *Tracker) openIntervalLocked(ps *procState, logIndex int, implicit bool,
 		ihd:          sets.New[ids.AID](),
 		specAffirmed: sets.New[ids.AID](),
 		status:       speculative,
+	}
+	if t.obs != nil {
+		iv.openedAt = time.Now()
 	}
 	t.intervals[iv.id] = iv
 	// Equation 3: inherit the enclosing interval's dependencies.
