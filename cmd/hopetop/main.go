@@ -10,6 +10,12 @@
 //	hopetop -exp E12                             # run an experiment by ID
 //	hopetop -list                                # what can run
 //
+// Chaos mode arms deterministic fault injection — crashes, drops,
+// duplicates, delays, stalls — from a seed-driven plan; rerunning the
+// same spec reproduces the same fault sequence:
+//
+//	hopetop -w storm -faults seed=7,crash=0.02,maxcrashes=4,drop=0.2,dup=0.1,delay=0.3,stall=0.2
+//
 // The Chrome trace (-trace) loads in Perfetto (https://ui.perfetto.dev)
 // or chrome://tracing: each process is a track, each speculative interval
 // an async span from guess to settlement, with rollback and replay
@@ -25,6 +31,7 @@ import (
 
 	"hope/internal/engine"
 	"hope/internal/experiments"
+	"hope/internal/fault"
 	"hope/internal/obs"
 	"hope/internal/scenario"
 )
@@ -40,6 +47,7 @@ func main() {
 		jsonOut  = flag.String("json", "", "write the observer snapshot as JSON")
 		showEv   = flag.Bool("dump-events", false, "print the recorded event stream")
 		list     = flag.Bool("list", false, "list workloads and experiments")
+		faultStr = flag.String("faults", "", "chaos mode: fault spec, e.g. seed=7,crash=0.02,drop=0.1,dup=0.05,delay=0.2,stall=0.1")
 	)
 	flag.Parse()
 
@@ -73,7 +81,19 @@ func main() {
 		fatal(fmt.Errorf("unknown workload %q (try -list)", *wname))
 	}
 
+	var plan *fault.Plan
+	if *faultStr != "" {
+		var err error
+		if plan, err = fault.Parse(*faultStr); err != nil {
+			fatal(err)
+		}
+	}
+
 	o := obs.New(obs.WithEventCapacity(*events))
+	opts := []engine.Option{engine.WithObserver(o)}
+	if plan != nil {
+		opts = append(opts, engine.WithFaults(plan))
+	}
 	done := make(chan struct{})
 	var (
 		res    scenario.Result
@@ -81,7 +101,7 @@ func main() {
 	)
 	go func() {
 		defer close(done)
-		res, runErr = spec.Run(*scale, engine.WithObserver(o))
+		res, runErr = spec.Run(*scale, opts...)
 	}()
 
 	if *interval > 0 {
@@ -105,6 +125,12 @@ func main() {
 
 	fmt.Printf("workload %s: %s in %v\n\n", spec.Name, res.Note, res.Elapsed.Round(10*time.Microsecond))
 	fmt.Print(o.Dump())
+	if plan != nil {
+		c := plan.Counts()
+		fmt.Printf("\nfaults (%s): %d injected — crash %d, drop %d, dup %d, delay %d, stall %d\n",
+			plan, plan.Total(),
+			c[fault.Crash], c[fault.Drop], c[fault.Dup], c[fault.Delay], c[fault.Stall])
+	}
 	if *showEv {
 		fmt.Println()
 		fmt.Print(o.DumpEvents())

@@ -1,0 +1,57 @@
+package hope_test
+
+import (
+	"errors"
+	"time"
+
+	"hope"
+)
+
+// ExampleNew runs the package-comment quickstart: a worker speculates on
+// an assumption and a verifier affirms it, committing the optimistic
+// output.
+func ExampleNew() {
+	rt := hope.New()
+	rt.Spawn("verifier", func(p *hope.Proc) error {
+		m, err := p.Recv()
+		if err != nil {
+			return err
+		}
+		return p.Affirm(m.Payload.(hope.AID))
+	})
+	rt.Spawn("worker", func(p *hope.Proc) error {
+		x := p.NewAID()
+		if err := p.Send("verifier", x); err != nil {
+			return err
+		}
+		if p.Guess(x) {
+			p.Printf("optimistic result\n")
+			return nil
+		}
+		p.Printf("pessimistic result\n")
+		return nil
+	})
+	rt.Quiesce()
+	rt.Shutdown()
+	rt.Wait()
+	// Output: optimistic result
+}
+
+// Example_recvTimeout shows graceful degradation: a process bounds its
+// wait and falls back instead of blocking forever. The timeout verdict
+// is logged, so a rollback replays it deterministically.
+func Example_recvTimeout() {
+	rt := hope.New()
+	rt.Spawn("poller", func(p *hope.Proc) error {
+		_, err := p.RecvTimeout(time.Millisecond)
+		if errors.Is(err, hope.ErrTimeout) {
+			p.Printf("no reply in time; using cached answer\n")
+			return nil
+		}
+		return err
+	})
+	rt.Quiesce()
+	rt.Shutdown()
+	rt.Wait()
+	// Output: no reply in time; using cached answer
+}

@@ -21,6 +21,39 @@
 // paper proves correct (its Lemma 5.1 through Theorem 6.3 are
 // machine-verified against internal/semantics by internal/check).
 //
+// # Error taxonomy
+//
+// Every exported error composes with errors.Is, and each falls into one
+// of two classes. Retryable errors report a transient condition the body
+// may handle and continue from:
+//
+//   - ErrTimeout: RecvTimeout's deadline elapsed with no deliverable
+//     message. Timeouts are logged, so a rollback replays the same
+//     verdict instead of re-waiting.
+//   - ErrDelivery: a Send was not delivered (only under fault
+//     injection). Retry with SendRetry or fall back.
+//
+// Fatal errors mean the process cannot make further progress and should
+// return, propagating the error or nil:
+//
+//   - ErrShutdown: the runtime is shutting down.
+//   - ErrConflict: conflicting Affirm/Deny on one assumption — a
+//     program bug (the paper's §5.2 user error).
+//   - ErrNondeterministic: the body diverged under replay, violating
+//     the piecewise-determinism contract — a program bug.
+//   - ErrDuplicateProc, ErrUnknownDest: configuration errors from
+//     Spawn/Send.
+//
+// # Fault injection
+//
+// A FaultPlan (NewFaultPlan or ParseFaults, attached with WithFaults)
+// deterministically injects process crashes, message drops, duplicates,
+// extra delays, and resolution stalls, every decision a pure function of
+// the plan's seed. Crashed processes restart by replay, duplicates are
+// suppressed at the receiver, and drops surface as ErrDelivery — so a
+// correct program's committed output is byte-identical with and without
+// faults. See internal/fault and DESIGN.md.
+//
 // # Writing processes
 //
 // A process body is a function of a *Proc handle. All nondeterminism must
@@ -56,6 +89,7 @@ import (
 	"time"
 
 	"hope/internal/engine"
+	"hope/internal/fault"
 	"hope/internal/obs"
 	"hope/internal/tracker"
 )
@@ -78,7 +112,8 @@ type Option = engine.Option
 // Stats holds dependency-tracker activity counters.
 type Stats = tracker.Stats
 
-// Exported errors.
+// Exported errors. See the package comment's error-taxonomy section for
+// which are retryable and which are fatal.
 var (
 	// ErrShutdown is returned by Recv after Shutdown.
 	ErrShutdown = engine.ErrShutdown
@@ -92,6 +127,12 @@ var (
 	ErrDuplicateProc = engine.ErrDuplicateProc
 	// ErrUnknownDest reports a Send to an unknown process.
 	ErrUnknownDest = engine.ErrUnknownDest
+	// ErrTimeout is returned by RecvTimeout when the deadline elapses
+	// before a deliverable message arrives. Retryable.
+	ErrTimeout = engine.ErrTimeout
+	// ErrDelivery is returned by Send when fault injection drops the
+	// message. Retryable — use SendRetry or fall back.
+	ErrDelivery = engine.ErrDelivery
 )
 
 // New creates a runtime.
@@ -128,17 +169,64 @@ type Observer = obs.Observer
 // ObsEvent is one recorded speculation-lifecycle event.
 type ObsEvent = obs.Event
 
+// ObserverOption configures an Observer at construction.
+type ObserverOption = obs.Option
+
 // NewObserver creates an observability sink. Pass it to the runtime with
 // WithObserver, then read it at any time: Snapshot/WriteJSON for metrics,
 // Events for the lifecycle stream, WriteChromeTrace for a Perfetto
 // timeline, Dump for a terminal summary.
-func NewObserver(opts ...obs.Option) *Observer { return obs.New(opts...) }
+func NewObserver(opts ...ObserverOption) *Observer { return obs.New(opts...) }
 
 // WithEventCapacity sets the observer's event-ring capacity (default
 // 8192; 0 keeps metrics only).
-func WithEventCapacity(n int) obs.Option { return obs.WithEventCapacity(n) }
+func WithEventCapacity(n int) ObserverOption { return obs.WithEventCapacity(n) }
 
 // WithObserver attaches an observability sink to the runtime. Observation
 // is strictly runtime-side and cannot perturb replay; a nil observer is
 // the built-in no-op sink.
 func WithObserver(o *Observer) Option { return engine.WithObserver(o) }
+
+// FaultPlan is a deterministic, seed-driven fault-injection plan. Every
+// injection decision is a pure function of (seed, site, occurrence), so
+// a failing run reproduces exactly from its seed.
+type FaultPlan = fault.Plan
+
+// FaultConfig sets per-class fault rates for a FaultPlan.
+type FaultConfig = fault.Config
+
+// FaultInjection records one injected fault.
+type FaultInjection = fault.Injection
+
+// NewFaultPlan builds a fault plan from a config.
+func NewFaultPlan(cfg FaultConfig) *FaultPlan { return fault.New(cfg) }
+
+// ParseFaults builds a fault plan from a compact spec string such as
+// "seed=7,crash=0.01,drop=0.1,dup=0.05,delay=0.2,stall=0.1" — the same
+// syntax cmd/hopetop's -faults flag accepts.
+func ParseFaults(spec string) (*FaultPlan, error) { return fault.Parse(spec) }
+
+// WithFaults arms fault injection: processes crash and restart by
+// replay, messages are dropped (surfacing as ErrDelivery), duplicated,
+// and delayed, and resolutions stall — all deterministically from the
+// plan's seed. Committed output is unaffected for correct programs.
+func WithFaults(p *FaultPlan) Option { return engine.WithFaults(p) }
+
+// RetryPolicy bounds Proc.SendRetry: up to Attempts tries with linear
+// backoff (i×Backoff before try i).
+type RetryPolicy = engine.RetryPolicy
+
+// DrainPolicy selects how Runtime.ShutdownDrain settles outstanding
+// speculation before shutting down.
+type DrainPolicy = engine.DrainPolicy
+
+const (
+	// DrainDenyUnresolved force-denies every unresolved assumption and
+	// rolls dependents onto their pessimistic paths, then shuts down.
+	// Terminates regardless of whether resolvers are still running.
+	DrainDenyUnresolved = engine.DrainDenyUnresolved
+	// DrainWaitSettled blocks until every assumption is resolved and
+	// all processes are definite, then shuts down. Requires the program
+	// itself to resolve its assumptions.
+	DrainWaitSettled = engine.DrainWaitSettled
+)

@@ -1,0 +1,132 @@
+package hope_test
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"hope"
+)
+
+// TestExportedAPIHidesInternalTypes parses hope.go and fails if any
+// exported function signature or explicitly typed exported declaration
+// names a type from an internal package. Type aliases are the sanctioned
+// mechanism for surfacing internal types — they give the type a name in
+// this package — so alias declarations themselves are exempt; everything
+// else must use the alias.
+func TestExportedAPIHidesInternalTypes(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "hope.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parse hope.go: %v", err)
+	}
+
+	internal := map[string]bool{}
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if !strings.Contains(path, "/internal/") {
+			continue
+		}
+		name := path[strings.LastIndex(path, "/")+1:]
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		internal[name] = true
+	}
+	if len(internal) == 0 {
+		t.Fatal("hope.go imports no internal packages — test is miswired")
+	}
+
+	leaks := func(n ast.Node, what string) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && internal[id.Name] {
+				t.Errorf("%s: %s leaks %s.%s into the exported API",
+					fset.Position(n.Pos()), what, id.Name, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() {
+				leaks(d.Type, "func "+d.Name.Name)
+			}
+		case *ast.GenDecl:
+			if d.Tok != token.VAR && d.Tok != token.CONST {
+				continue // type aliases are the sanctioned surface
+			}
+			for _, spec := range d.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || vs.Type == nil {
+					continue // inferred types resolve via aliases
+				}
+				for _, name := range vs.Names {
+					if name.IsExported() {
+						leaks(vs.Type, d.Tok.String()+" "+name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestErrorsComposeAcrossFacade checks that the degradation errors
+// surface through the façade and stay errors.Is-composable even when
+// wrapped by caller code.
+func TestErrorsComposeAcrossFacade(t *testing.T) {
+	rt := hope.New(hope.WithOutput(io.Discard))
+	defer rt.Shutdown()
+	errCh := make(chan error, 1)
+	if err := rt.Spawn("poller", func(p *hope.Proc) error {
+		_, err := p.RecvTimeout(time.Millisecond)
+		errCh <- fmt.Errorf("poll: %w", err)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; !errors.Is(err, hope.ErrTimeout) {
+		t.Fatalf("wrapped RecvTimeout error %v does not match hope.ErrTimeout", err)
+	}
+
+	plan := hope.NewFaultPlan(hope.FaultConfig{Drop: 1})
+	rt2 := hope.New(hope.WithOutput(io.Discard), hope.WithFaults(plan))
+	defer rt2.Shutdown()
+	if err := rt2.Spawn("sink", func(p *hope.Proc) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt2.Spawn("tx", func(p *hope.Proc) error {
+		errCh <- fmt.Errorf("send: %w", p.Send("sink", 1))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; !errors.Is(err, hope.ErrDelivery) {
+		t.Fatalf("wrapped Send error %v does not match hope.ErrDelivery", err)
+	}
+}
+
+// TestParseFaultsRoundTrip checks the façade's spec-string entry point.
+func TestParseFaultsRoundTrip(t *testing.T) {
+	plan, err := hope.ParseFaults("seed=7,drop=0.25,maxcrashes=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.Config().Seed; got != 7 {
+		t.Fatalf("Seed = %d, want 7", got)
+	}
+	if _, err := hope.ParseFaults("seed=7,bogus=1"); err == nil {
+		t.Fatal("ParseFaults accepted an unknown key")
+	}
+}

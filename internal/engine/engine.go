@@ -37,12 +37,23 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hope/internal/fault"
+	"hope/internal/ids"
 	"hope/internal/obs"
 	"hope/internal/tracker"
 )
 
 // ErrShutdown is returned by Recv when the runtime is shut down.
 var ErrShutdown = errors.New("hope: runtime shut down")
+
+// ErrTimeout is returned by RecvTimeout when the deadline passes with no
+// deliverable message. It is retryable: the process may receive again.
+var ErrTimeout = errors.New("hope: receive timed out")
+
+// ErrDelivery is returned by Send when the message was discarded by a
+// transport fault (fault-injection Drop). It is retryable — the send had
+// no effect and may simply be re-issued (see SendRetry).
+var ErrDelivery = errors.New("hope: message delivery failed")
 
 // ErrNondeterministic reports that a process body diverged from its
 // replay log during rollback re-execution, violating the piecewise
@@ -80,6 +91,14 @@ func WithLatency(f LatencyFunc) Option { return func(r *Runtime) { r.latency = f
 // perturb piecewise-deterministic replay.
 func WithObserver(o *obs.Observer) Option { return func(r *Runtime) { r.obs = o } }
 
+// WithFaults attaches a deterministic fault-injection plan
+// (internal/fault): processes crash and restart by replay, messages are
+// dropped (surfacing to senders as ErrDelivery), duplicated (suppressed
+// by the per-link filter), or delayed, and resolutions stall. A nil plan
+// (the default) injects nothing. A Plan must not be reused across
+// runtimes — its per-site counters are part of the schedule.
+func WithFaults(p *fault.Plan) Option { return func(r *Runtime) { r.faults = p } }
+
 // Runtime hosts one distributed HOPE program: a set of named processes,
 // their mailboxes, and the shared dependency tracker.
 type Runtime struct {
@@ -88,10 +107,12 @@ type Runtime struct {
 	outMu   sync.Mutex
 	latency LatencyFunc
 	obs     *obs.Observer
+	faults  *fault.Plan
 
 	mu       sync.Mutex
 	cond     *sync.Cond
 	procs    map[string]*Proc
+	byID     map[ids.Proc]*Proc
 	inflight int
 	closed   bool
 	// settledWaiters are the processes currently blocked in RecvSettled.
@@ -113,6 +134,7 @@ func New(opts ...Option) *Runtime {
 		tr:             tracker.New(),
 		out:            os.Stdout,
 		procs:          make(map[string]*Proc),
+		byID:           make(map[ids.Proc]*Proc),
 		settledWaiters: make(map[*Proc]struct{}),
 	}
 	r.cond = sync.NewCond(&r.mu)
@@ -121,6 +143,23 @@ func New(opts ...Option) *Runtime {
 		o(r)
 	}
 	r.tr.SetObserver(r.obs)
+	if r.faults != nil {
+		// Resolution stalls run in the resolving process's goroutine,
+		// before the tracker's critical section: the speculation window
+		// widens without any lock held.
+		r.tr.SetStallHook(func(id ids.Proc, op string) {
+			r.mu.Lock()
+			p := r.byID[id]
+			r.mu.Unlock()
+			if p == nil {
+				return
+			}
+			if d := r.faults.StallNow(p.name); d > 0 {
+				r.obs.Emit(obs.KFaultStall, id, ids.NoAID, ids.NoInterval, int64(d))
+				time.Sleep(d)
+			}
+		})
+	}
 	// Wake pessimistic receivers (RecvSettled) whenever any assumption
 	// resolves: their deliverability depends on global resolution state,
 	// not just their own queue. Only the processes registered as blocked
@@ -182,6 +221,7 @@ func (r *Runtime) Spawn(name string, body func(*Proc) error) error {
 	p.id = r.tr.Register((*procHooks)(p))
 	r.obs.RegisterProc(p.id, name)
 	r.procs[name] = p
+	r.byID[p.id] = p
 	r.mu.Unlock()
 
 	go p.loop()
@@ -223,23 +263,48 @@ func (r *Runtime) route(from, to string, msg *rmsg) error {
 		r.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownDest, to)
 	}
-	if r.latency == nil {
+	if r.latency == nil && r.faults == nil {
 		// Synchronous delivery in the sender's goroutine is trivially
 		// FIFO per link.
 		r.mu.Unlock()
 		dst.enqueue(msg)
 		return nil
 	}
-	delay := r.latency(from, to)
-	r.inflight++
+	// With a fault plan attached every delivery goes through the
+	// scheduler, even at zero latency: delay and duplicate injections
+	// then share the per-link FIFO with clean deliveries, so injected
+	// reordering can never violate link order — only stretch it.
+	var delay time.Duration
+	if r.latency != nil {
+		delay = r.latency(from, to)
+	}
+	var extra time.Duration
+	dup := false
+	if r.faults != nil {
+		extra = r.faults.DelayNow(from, to)
+		dup = r.faults.DupNow(from, to)
+	}
+	n := 1
+	if dup {
+		n = 2
+	}
+	r.inflight += n
 	r.mu.Unlock()
 
-	r.sched.schedule(r, &delivery{
-		due: time.Now().Add(delay),
-		key: linkKey{from: from, to: to},
-		msg: msg,
-		dst: dst,
-	})
+	if extra > 0 {
+		r.obs.Emit(obs.KFaultDelay, dst.id, ids.NoAID, ids.NoInterval, int64(extra))
+	}
+	due := time.Now().Add(delay + extra)
+	key := linkKey{from: from, to: to}
+	r.sched.schedule(r, &delivery{due: due, key: key, msg: msg, dst: dst})
+	if dup {
+		// The copy shares the original's seq, so the receiver's
+		// per-link duplicate filter suppresses it at enqueue. It is
+		// scheduled after the original on the same link, so it can
+		// never overtake it.
+		r.obs.Emit(obs.KFaultDup, dst.id, ids.NoAID, ids.NoInterval, 0)
+		r.sched.schedule(r, &delivery{due: due, key: key, msg: msg, dst: dst})
+	}
 	return nil
 }
 
@@ -339,6 +404,75 @@ func (r *Runtime) Shutdown() {
 	// scheduler goroutine exits.
 	r.sched.close()
 	r.bump()
+}
+
+// DrainPolicy selects how ShutdownDrain disposes of speculation still
+// outstanding when the runtime is asked to stop.
+type DrainPolicy int
+
+const (
+	// DrainDenyUnresolved resolves every outstanding assumption
+	// pessimistically: unresolved AIDs are system-denied, dependent
+	// speculation rolls back and replays down its guess-failed paths,
+	// and the sweep repeats until the tracker is fully settled. Bounded
+	// drain time at the cost of discarding optimistic work.
+	DrainDenyUnresolved DrainPolicy = iota + 1
+	// DrainWaitSettled blocks until every process's speculation has
+	// settled on its own (all assumptions resolved by the program) and
+	// the system is stable. No work is discarded, but a program that
+	// never resolves an assumption drains forever.
+	DrainWaitSettled
+)
+
+// String names the policy.
+func (d DrainPolicy) String() string {
+	switch d {
+	case DrainDenyUnresolved:
+		return "deny-unresolved"
+	case DrainWaitSettled:
+		return "wait-settled"
+	default:
+		return "invalid"
+	}
+}
+
+// ShutdownDrain is the graceful form of Shutdown: it first settles all
+// outstanding speculation according to policy — so every buffered
+// Printf/Effect is either released or aborted, never abandoned in limbo
+// — and then shuts the runtime down. Like Wait, it assumes the program's
+// processes eventually block; a body that spins forever prevents the
+// drain from completing.
+func (r *Runtime) ShutdownDrain(policy DrainPolicy) {
+	switch policy {
+	case DrainWaitSettled:
+		r.mu.Lock()
+		for !r.stableLocked() || !r.allDefiniteLocked() {
+			r.cond.Wait()
+		}
+		r.mu.Unlock()
+	default:
+		// Each sweep can wake rolled-back processes whose replays open
+		// fresh speculation (a guess-failed path may guess again), so
+		// quiesce-and-sweep repeats until a sweep finds nothing.
+		for {
+			r.Quiesce()
+			if r.tr.DenyAllUnresolved() == 0 {
+				break
+			}
+		}
+	}
+	r.Shutdown()
+}
+
+// allDefiniteLocked reports whether no process holds live speculation.
+// Caller holds r.mu; lock order r.mu → tracker.mu.
+func (r *Runtime) allDefiniteLocked() bool {
+	for _, p := range r.procs {
+		if !r.tr.Definite(p.id) {
+			return false
+		}
+	}
+	return true
 }
 
 // write emits committed output.

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hope/internal/ids"
 	"hope/internal/obs"
@@ -72,6 +73,11 @@ func (s procPhase) String() string {
 // rollbackSignal unwinds a process goroutine back to its loop for replay.
 type rollbackSignal struct{}
 
+// crashSignal unwinds a process goroutine for an injected crash: unlike a
+// rollback there is no target to apply, so the whole retained log replays
+// — the PWD model of a process dying and recovering from its log.
+type crashSignal struct{}
+
 // fatalSignal unwinds a process goroutine on an unrecoverable error.
 type fatalSignal struct{ err error }
 
@@ -88,6 +94,7 @@ const (
 	entryEffect
 	entryRand
 	entryOutcome
+	entryTimeout
 )
 
 // entry is one replay-log record.
@@ -120,6 +127,15 @@ type Proc struct {
 	// waitSettled marks a RecvSettled wait: only messages whose tags have
 	// fully settled (or orphaned) count as deliverable.
 	waitSettled bool
+	// waitDeadline is the active RecvTimeout deadline (zero = none);
+	// Quiesce treats a blocked process with a pending deadline as having
+	// work, since its timer will fire without external input.
+	waitDeadline time.Time
+	// lastSeq is the per-sender duplicate filter, active only under fault
+	// injection: the transport may deliver a message twice (at-least-once
+	// semantics), and since sequence numbers are monotone per link in
+	// send order, any arrival not newer than the last is a duplicate.
+	lastSeq map[string]uint64
 
 	// Replay state: owned by the process goroutine, no lock needed.
 	// logBase is the absolute index of log[0]: compaction (engine.Loop)
@@ -199,9 +215,76 @@ func (p *Proc) classifyQueueLocked() {
 	}
 }
 
+// scanMode selects what the unified queue scanner treats as deliverable.
+type scanMode int
+
+const (
+	// scanAny delivers the oldest predicate match, tags unexamined —
+	// the optimistic receive (Recv/RecvMatch), which becomes dependent
+	// on whatever it consumes and lets Deliver weed out orphans.
+	scanAny scanMode = iota
+	// scanSettled acts on the oldest message whose tags have resolved:
+	// settled delivers, orphaned drops, speculative waits — the
+	// pessimistic receive (RecvSettled).
+	scanSettled
+	// scanNonOrphan delivers the oldest predicate match that is not an
+	// orphan — the stability probe's notion of a message that would
+	// actually make a blocked optimistic receiver progress.
+	scanNonOrphan
+)
+
+// scanQueueLocked is the one queue scan shared by every receive path and
+// stability probe: it returns the index of the oldest message deliverable
+// under mode (and pred, nil matching anything), and — in scanSettled mode
+// — the index of the oldest droppable orphan instead when that comes
+// first. Both are -1 when nothing qualifies. Modes that read tags refresh
+// the queue's memoized classification first. Caller holds p.mu.
+func (p *Proc) scanQueueLocked(mode scanMode, pred func(any) bool) (deliver, drop int) {
+	if mode != scanAny {
+		p.classifyQueueLocked()
+	}
+	for i, m := range p.queue {
+		if pred != nil && !pred(m.payload) {
+			continue
+		}
+		switch mode {
+		case scanAny:
+			return i, -1
+		case scanSettled:
+			if m.cls.Orphan {
+				return -1, i
+			}
+			if m.cls.Settled {
+				return i, -1
+			}
+		case scanNonOrphan:
+			if !m.cls.Orphan {
+				return i, -1
+			}
+		}
+	}
+	return -1, -1
+}
+
+// popLocked removes and returns the message at index i. Caller holds p.mu.
+func (p *Proc) popLocked(i int) *rmsg {
+	m := p.queue[i]
+	p.queue = append(p.queue[:i:i], p.queue[i+1:]...)
+	return m
+}
+
+// waitScanLocked is the scan as seen by a blocked process's wait
+// predicate (and, through hasWork, by Quiesce): anything deliverable or
+// droppable counts as progress. Caller holds p.mu.
+func (p *Proc) waitScanLocked(mode scanMode, pred func(any) bool) bool {
+	deliver, drop := p.scanQueueLocked(mode, pred)
+	return deliver >= 0 || drop >= 0
+}
+
 // hasWork reports whether a blocked/parked process will make progress:
-// a pending rollback, or (when blocked) a deliverable queued message.
-// Called with rt.mu held; takes p.mu then tracker.mu (lock order).
+// a pending rollback, a pending receive deadline, or (when blocked) a
+// deliverable queued message. Called with rt.mu held; takes p.mu then
+// tracker.mu (lock order).
 func (p *Proc) hasWork() bool {
 	if p.rt.tr.PendingRollback(p.id) {
 		return true
@@ -211,24 +294,15 @@ func (p *Proc) hasWork() bool {
 	if p.state != stateBlocked {
 		return false
 	}
-	p.classifyQueueLocked()
-	for _, m := range p.queue {
-		if p.waitPred != nil && !p.waitPred(m.payload) {
-			continue
-		}
-		if p.waitSettled {
-			// Settled messages deliver; orphans are droppable — both are
-			// progress. Speculative messages are not deliverable here.
-			if m.cls.Settled || m.cls.Orphan {
-				return true
-			}
-			continue
-		}
-		if !m.cls.Orphan {
-			return true
-		}
+	if !p.waitDeadline.IsZero() {
+		// A RecvTimeout deadline will fire on its own: not stable yet.
+		return true
 	}
-	return false
+	mode := scanNonOrphan
+	if p.waitSettled {
+		mode = scanSettled
+	}
+	return p.waitScanLocked(mode, p.waitPred)
 }
 
 // enqueue appends a message and wakes the process. Appends happen under
@@ -237,6 +311,22 @@ func (p *Proc) hasWork() bool {
 func (p *Proc) enqueue(m *rmsg) {
 	p.rt.mu.Lock()
 	p.mu.Lock()
+	if p.rt.faults != nil {
+		// Per-link duplicate filter: sequence numbers are allocated in
+		// send order and links are FIFO, so an arrival not newer than
+		// the link's high-water mark is an injected duplicate. Rollback
+		// requeues bypass enqueue, so a replayed message never trips it.
+		if last, seen := p.lastSeq[m.from]; seen && m.seq <= last {
+			p.mu.Unlock()
+			p.rt.mu.Unlock()
+			p.rt.obs.Emit(obs.KDupSuppressed, p.id, ids.NoAID, ids.NoInterval, 0)
+			return
+		}
+		if p.lastSeq == nil {
+			p.lastSeq = make(map[string]uint64)
+		}
+		p.lastSeq[m.from] = m.seq
+	}
 	p.queue = append(p.queue, m)
 	depth := len(p.queue)
 	p.cond.Broadcast()
@@ -272,6 +362,8 @@ func (p *Proc) attempt() (restart bool) {
 		switch r := recover().(type) {
 		case nil:
 		case rollbackSignal:
+			restart = true
+		case crashSignal:
 			restart = true
 		case fatalSignal:
 			p.mu.Lock()
@@ -361,11 +453,32 @@ func (p *Proc) park() {
 	p.mu.Unlock()
 }
 
-// checkPending panics into the loop if a rollback has been requested.
+// checkPending panics into the loop if a rollback has been requested, and
+// is the crash-injection checkpoint: every primitive passes through here
+// on entry and exit, so an injected crash always lands between logged
+// operations — never half way through one — and restart-by-replay
+// reconstructs the exact pre-crash state.
 func (p *Proc) checkPending() {
 	if p.rt.tr.PendingRollback(p.id) {
 		panic(rollbackSignal{})
 	}
+	p.maybeCrash()
+}
+
+// maybeCrash consults the fault plan at a checkpoint. Crashes are only
+// injected in live execution: a crash during replay would re-roll
+// decisions the schedule has already spent, and recovery itself is not a
+// fault site.
+func (p *Proc) maybeCrash() {
+	f := p.rt.faults
+	if f == nil || p.replaying() {
+		return
+	}
+	if !f.CrashNow(p.name) {
+		return
+	}
+	p.rt.obs.Emit(obs.KFaultCrash, p.id, ids.NoAID, ids.NoInterval, 0)
+	panic(crashSignal{})
 }
 
 func (p *Proc) replaying() bool { return p.replay < len(p.log) }
@@ -481,11 +594,24 @@ func (p *Proc) resolve(kind entryKind, a AID, op func(ids.Proc, ids.AID) error) 
 // Send transmits payload to the named process. The message carries the
 // sender's current assumption tags (§3); if the sender's speculation is
 // later denied the message is discarded as an orphan at the receiver.
+//
+// Under fault injection a send may fail with ErrDelivery: the message was
+// discarded by the (simulated) transport and the send had no effect. The
+// outcome is recorded in the replay log, so a replayed send reproduces
+// the original verdict without consulting the fault plan again.
 func (p *Proc) Send(to string, payload any) error {
 	p.checkPending()
 	if p.replaying() {
-		p.next(entrySend, ids.NoAID)
+		if !p.next(entrySend, ids.NoAID).ok {
+			return ErrDelivery
+		}
 		return nil
+	}
+	if f := p.rt.faults; f != nil && f.DropNow(p.name, to) {
+		p.rt.obs.Emit(obs.KFaultDrop, p.id, ids.NoAID, ids.NoInterval, 0)
+		p.record(entry{kind: entrySend, ok: false})
+		p.checkPending()
+		return ErrDelivery
 	}
 	tags, err := p.rt.tr.Tag(p.id)
 	if err != nil {
@@ -497,12 +623,45 @@ func (p *Proc) Send(to string, payload any) error {
 		payload: payload,
 		tags:    tags,
 	}
-	p.record(entry{kind: entrySend})
+	p.record(entry{kind: entrySend, ok: true})
 	if err := p.rt.route(p.name, to, msg); err != nil {
 		p.fatal(err)
 	}
 	p.checkPending()
 	return nil
+}
+
+// RetryPolicy configures SendRetry.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (values below 1 mean 1).
+	Attempts int
+	// Backoff is the pause before the i-th retry, scaled linearly
+	// (i × Backoff). Zero retries immediately. Backoff sleeps are
+	// skipped under replay — the logged verdicts replay instantly.
+	Backoff time.Duration
+}
+
+// SendRetry sends with retries: retryable delivery failures
+// (ErrDelivery) are re-attempted per pol; any other error — and success
+// — returns immediately. Each attempt is an independent logged Send, so
+// the whole sequence replays deterministically. It returns the last
+// attempt's error, so errors.Is(err, ErrDelivery) identifies exhaustion.
+func (p *Proc) SendRetry(to string, payload any, pol RetryPolicy) error {
+	attempts := pol.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 && pol.Backoff > 0 && !p.replaying() {
+			time.Sleep(time.Duration(i) * pol.Backoff)
+		}
+		err = p.Send(to, payload)
+		if !errors.Is(err, ErrDelivery) {
+			return err
+		}
+	}
+	return err
 }
 
 // Recv blocks until a message is delivered. Receiving a message tagged
@@ -518,8 +677,35 @@ func (p *Proc) Recv() (Msg, error) { return p.RecvMatch(nil) }
 // processes causally clean (a process only inherits the speculation of
 // messages it actually consumes).
 func (p *Proc) RecvMatch(pred func(payload any) bool) (Msg, error) {
+	m, err := p.recvLoop(pred, time.Time{})
+	if err != nil {
+		return Msg{}, err
+	}
+	return m, nil
+}
+
+// RecvTimeout is Recv with a deadline: it delivers the oldest queued
+// message, or returns ErrTimeout once d elapses with nothing deliverable.
+// The verdict — message or timeout — is recorded in the replay log, so a
+// replayed receive reproduces the original outcome without consulting the
+// clock: bodies may branch on ErrTimeout and stay piecewise
+// deterministic.
+func (p *Proc) RecvTimeout(d time.Duration) (Msg, error) {
+	return p.recvLoop(nil, time.Now().Add(d))
+}
+
+// recvLoop is the optimistic receive shared by Recv, RecvMatch and
+// RecvTimeout: deliver the oldest predicate match, becoming dependent on
+// its tags; with a non-zero deadline, give up with ErrTimeout once it
+// passes and nothing is deliverable.
+func (p *Proc) recvLoop(pred func(any) bool, deadline time.Time) (Msg, error) {
+	timed := !deadline.IsZero()
 	p.checkPending()
 	if p.replaying() {
+		if timed && p.log[p.replay].kind == entryTimeout {
+			p.next(entryTimeout, ids.NoAID)
+			return Msg{}, ErrTimeout
+		}
 		e := p.next(entryRecv, ids.NoAID)
 		return Msg{From: e.msg.from, Payload: e.msg.payload}, nil
 	}
@@ -531,12 +717,8 @@ func (p *Proc) RecvMatch(pred func(payload any) bool) (Msg, error) {
 			return Msg{}, ErrShutdown
 		}
 		var m *rmsg
-		for i, cand := range p.queue {
-			if pred == nil || pred(cand.payload) {
-				m = cand
-				p.queue = append(p.queue[:i:i], p.queue[i+1:]...)
-				break
-			}
+		if i, _ := p.scanQueueLocked(scanAny, pred); i >= 0 {
+			m = p.popLocked(i)
 		}
 		p.mu.Unlock()
 		if m != nil {
@@ -563,31 +745,37 @@ func (p *Proc) RecvMatch(pred func(payload any) bool) (Msg, error) {
 			p.checkPending()
 			return Msg{From: m.from, Payload: m.payload}, nil
 		}
+		if timed && !time.Now().Before(deadline) {
+			// The timeout is itself a logged nondeterministic event.
+			p.record(entry{kind: entryTimeout})
+			p.checkPending()
+			return Msg{}, ErrTimeout
+		}
 
-		// Nothing matching: block.
+		// Nothing matching: block. With a deadline, arm a timer whose
+		// only job is to wake the wait loop so it can observe expiry.
 		p.mu.Lock()
 		p.waitPred = pred
+		p.waitDeadline = deadline
 		p.mu.Unlock()
+		var timer *time.Timer
+		if timed {
+			timer = time.AfterFunc(time.Until(deadline), p.wake)
+		}
 		p.toState(stateBlocked)
 		p.mu.Lock()
-		for !p.hasMatchLocked(pred) && !p.closed && !p.rt.tr.PendingRollback(p.id) {
+		for !p.waitScanLocked(scanAny, pred) && !p.closed && !p.rt.tr.PendingRollback(p.id) &&
+			!(timed && !time.Now().Before(deadline)) {
 			p.cond.Wait()
 		}
 		p.waitPred = nil
+		p.waitDeadline = time.Time{}
 		p.mu.Unlock()
+		if timer != nil {
+			timer.Stop()
+		}
 		p.toState(stateRunning)
 	}
-}
-
-// hasMatchLocked reports whether any queued message satisfies pred.
-// Caller holds p.mu.
-func (p *Proc) hasMatchLocked(pred func(any) bool) bool {
-	for _, m := range p.queue {
-		if pred == nil || pred(m.payload) {
-			return true
-		}
-	}
-	return false
 }
 
 // RecvSettled is the pessimistic receive: it delivers the oldest queued
@@ -610,25 +798,16 @@ func (p *Proc) RecvSettled() (Msg, error) {
 			p.mu.Unlock()
 			return Msg{}, ErrShutdown
 		}
-		p.classifyQueueLocked()
 		var m *rmsg
-		drop := -1
-		for i, cand := range p.queue {
-			if cand.cls.Orphan {
-				drop = i
-				break
-			}
-			if cand.cls.Settled {
-				m = cand
-				p.queue = append(p.queue[:i:i], p.queue[i+1:]...)
-				break
-			}
-		}
+		deliver, drop := p.scanQueueLocked(scanSettled, nil)
 		if drop >= 0 {
-			p.queue = append(p.queue[:drop:drop], p.queue[drop+1:]...)
+			p.popLocked(drop)
 			p.mu.Unlock()
 			p.rt.bump()
 			continue
+		}
+		if deliver >= 0 {
+			m = p.popLocked(deliver)
 		}
 		p.mu.Unlock()
 		if m != nil {
@@ -659,7 +838,7 @@ func (p *Proc) RecvSettled() (Msg, error) {
 		p.rt.addSettledWaiter(p)
 		p.toState(stateBlocked)
 		p.mu.Lock()
-		for !p.hasSettledLocked() && !p.closed && !p.rt.tr.PendingRollback(p.id) {
+		for !p.waitScanLocked(scanSettled, nil) && !p.closed && !p.rt.tr.PendingRollback(p.id) {
 			p.cond.Wait()
 		}
 		p.waitSettled = false
@@ -667,18 +846,6 @@ func (p *Proc) RecvSettled() (Msg, error) {
 		p.rt.removeSettledWaiter(p)
 		p.toState(stateRunning)
 	}
-}
-
-// hasSettledLocked reports whether any queued message has settled or
-// orphaned tags. Caller holds p.mu.
-func (p *Proc) hasSettledLocked() bool {
-	p.classifyQueueLocked()
-	for _, m := range p.queue {
-		if m.cls.Settled || m.cls.Orphan {
-			return true
-		}
-	}
-	return false
 }
 
 // Outcome reports an assumption's resolution as observed now: resolved is

@@ -1,0 +1,174 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// aggressive is the reference chaos configuration used across the tests.
+func aggressive(seed int64) Config {
+	return Config{
+		Seed:     seed,
+		Crash:    0.02,
+		Drop:     0.2,
+		Dup:      0.2,
+		Delay:    0.3,
+		MaxDelay: 500 * time.Microsecond,
+		Stall:    0.3,
+		MaxStall: time.Millisecond,
+	}
+}
+
+// TestDecisionStreamsDeterministic drives two independently constructed
+// plans through the same interleaving-free query sequence and requires
+// bit-identical answers — the property that makes a failing seed
+// reproducible.
+func TestDecisionStreamsDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		a, b := New(aggressive(seed)), New(aggressive(seed))
+		for i := 0; i < 2000; i++ {
+			if ca, cb := a.CrashNow("w1"), b.CrashNow("w1"); ca != cb {
+				t.Fatalf("seed %d crash #%d: %v vs %v", seed, i, ca, cb)
+			}
+			if da, db := a.DropNow("tx", "rx"), b.DropNow("tx", "rx"); da != db {
+				t.Fatalf("seed %d drop #%d: %v vs %v", seed, i, da, db)
+			}
+			if da, db := a.DupNow("tx", "rx"), b.DupNow("tx", "rx"); da != db {
+				t.Fatalf("seed %d dup #%d: %v vs %v", seed, i, da, db)
+			}
+			if da, db := a.DelayNow("tx", "rx"), b.DelayNow("tx", "rx"); da != db {
+				t.Fatalf("seed %d delay #%d: %v vs %v", seed, i, da, db)
+			}
+			if sa, sb := a.StallNow("w1"), b.StallNow("w1"); sa != sb {
+				t.Fatalf("seed %d stall #%d: %v vs %v", seed, i, sa, sb)
+			}
+		}
+		ia, ib := a.Injections(), b.Injections()
+		if len(ia) != len(ib) {
+			t.Fatalf("seed %d: trace lengths %d vs %d", seed, len(ia), len(ib))
+		}
+		for i := range ia {
+			if ia[i] != ib[i] {
+				t.Fatalf("seed %d: trace[%d] %v vs %v", seed, i, ia[i], ib[i])
+			}
+		}
+		if a.Total() == 0 {
+			t.Fatalf("seed %d: aggressive plan injected nothing over 2000 rounds", seed)
+		}
+	}
+}
+
+// TestSitesAreIndependent checks that interleaving between sites cannot
+// leak into a site's own stream: querying extra sites in between leaves
+// the original site's decisions unchanged.
+func TestSitesAreIndependent(t *testing.T) {
+	a, b := New(aggressive(7)), New(aggressive(7))
+	var wantDrops, gotDrops []bool
+	for i := 0; i < 500; i++ {
+		wantDrops = append(wantDrops, a.DropNow("tx", "rx1"))
+	}
+	for i := 0; i < 500; i++ {
+		// Interleave unrelated traffic on b.
+		b.DropNow("tx", "rx2")
+		b.CrashNow("other")
+		gotDrops = append(gotDrops, b.DropNow("tx", "rx1"))
+		b.StallNow("other")
+	}
+	for i := range wantDrops {
+		if wantDrops[i] != gotDrops[i] {
+			t.Fatalf("drop #%d on tx→rx1 diverged under interleaving: %v vs %v",
+				i, wantDrops[i], gotDrops[i])
+		}
+	}
+}
+
+// TestSeedsDiffer sanity-checks that distinct seeds produce distinct
+// decision streams.
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(aggressive(1)), New(aggressive(2))
+	same := true
+	for i := 0; i < 200; i++ {
+		if a.DropNow("tx", "rx") != b.DropNow("tx", "rx") {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical 200-decision drop streams")
+	}
+}
+
+// TestRatesApproximate checks the decision streams roughly honor their
+// configured rates (loose bounds; the stream is deterministic so this
+// can never flake).
+func TestRatesApproximate(t *testing.T) {
+	p := New(Config{Seed: 3, Drop: 0.25})
+	drops := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if p.DropNow("a", "b") {
+			drops++
+		}
+	}
+	got := float64(drops) / n
+	if got < 0.20 || got > 0.30 {
+		t.Fatalf("drop rate %.3f, want ≈0.25", got)
+	}
+}
+
+// TestMaxCrashesCap verifies the per-process crash budget.
+func TestMaxCrashesCap(t *testing.T) {
+	p := New(Config{Seed: 1, Crash: 1, MaxCrashes: 3})
+	crashes := 0
+	for i := 0; i < 100; i++ {
+		if p.CrashNow("w") {
+			crashes++
+		}
+	}
+	if crashes != 3 {
+		t.Fatalf("crashes = %d, want 3 (capped)", crashes)
+	}
+	if p.CrashNow("other") != true {
+		t.Fatal("cap leaked across processes")
+	}
+}
+
+// TestParseRoundTrip checks Parse(String()) reproduces the same decision
+// stream, and that bad specs are rejected.
+func TestParseRoundTrip(t *testing.T) {
+	orig := New(aggressive(42))
+	re, err := Parse(orig.String())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", orig.String(), err)
+	}
+	for i := 0; i < 500; i++ {
+		if orig.DropNow("a", "b") != re.DropNow("a", "b") {
+			t.Fatalf("round-tripped plan diverged at drop #%d (spec %q)", i, orig.String())
+		}
+		if orig.DelayNow("a", "b") != re.DelayNow("a", "b") {
+			t.Fatalf("round-tripped plan diverged at delay #%d (spec %q)", i, orig.String())
+		}
+	}
+	for _, bad := range []string{"seed", "seed=x", "drop=2", "bogus=1", "crash=-0.1"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted a bad spec", bad)
+		}
+	}
+	if _, err := Parse(""); err != nil {
+		t.Errorf("Parse(\"\") should yield an empty plan, got %v", err)
+	}
+}
+
+// TestNilPlanInjectsNothing covers the engine's no-fault fast path.
+func TestNilPlanInjectsNothing(t *testing.T) {
+	var p *Plan
+	if p.CrashNow("w") || p.DropNow("a", "b") || p.DupNow("a", "b") ||
+		p.DelayNow("a", "b") != 0 || p.StallNow("w") != 0 {
+		t.Fatal("nil plan injected a fault")
+	}
+	if p.Total() != 0 || len(p.Injections()) != 0 {
+		t.Fatal("nil plan reported injections")
+	}
+	if p.String() != "faults=off" {
+		t.Fatalf("nil plan String = %q", p.String())
+	}
+}

@@ -146,6 +146,15 @@ func (o *Observer) WriteChromeTrace(w io.Writer) error {
 				Name: e.Label, Cat: "app",
 				Phase: "i", TS: us(e.T), PID: chromePID, TID: tid, Scope: "t",
 			})
+		case KFaultCrash, KFaultDrop, KFaultDup, KFaultDelay, KFaultStall, KDupSuppressed:
+			name := e.Kind.String()
+			if e.N > 0 {
+				name = fmt.Sprintf("%s %v", e.Kind, time.Duration(e.N))
+			}
+			add(chromeEvent{
+				Name: name, Cat: "fault",
+				Phase: "i", TS: us(e.T), PID: chromePID, TID: tid, Scope: "t",
+			})
 		}
 	}
 

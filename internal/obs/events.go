@@ -79,6 +79,24 @@ const (
 	KEffectAborted
 	// KAnnotate: an application-level marker (Label carries the text).
 	KAnnotate
+	// KFaultCrash: the fault plan killed a process at a checkpoint; it
+	// restarts by replaying its log.
+	KFaultCrash
+	// KFaultDrop: the fault plan discarded a message at send time (the
+	// sender saw a retryable delivery error).
+	KFaultDrop
+	// KFaultDup: the fault plan duplicated a delivery (the engine's
+	// per-link filter suppresses the copy at the receiver).
+	KFaultDup
+	// KFaultDelay: the fault plan added extra delivery latency
+	// (N = injected delay in nanoseconds).
+	KFaultDelay
+	// KFaultStall: the fault plan stalled a resolution before it
+	// committed (N = injected delay in nanoseconds).
+	KFaultStall
+	// KDupSuppressed: the per-link duplicate filter dropped an
+	// already-delivered message copy.
+	KDupSuppressed
 )
 
 // String names the kind in lifecycle vocabulary.
@@ -116,6 +134,18 @@ func (k Kind) String() string {
 		return "effect-aborted"
 	case KAnnotate:
 		return "annotate"
+	case KFaultCrash:
+		return "fault-crash"
+	case KFaultDrop:
+		return "fault-drop"
+	case KFaultDup:
+		return "fault-dup"
+	case KFaultDelay:
+		return "fault-delay"
+	case KFaultStall:
+		return "fault-stall"
+	case KDupSuppressed:
+		return "dup-suppressed"
 	default:
 		return "invalid"
 	}

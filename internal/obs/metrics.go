@@ -126,6 +126,14 @@ type Metrics struct {
 
 	Annotations atomic.Int64
 
+	// Fault injection (populated only when a fault plan is attached).
+	FaultCrashes  atomic.Int64 // processes killed at checkpoints
+	FaultDrops    atomic.Int64 // messages discarded at send time
+	FaultDups     atomic.Int64 // deliveries duplicated
+	FaultDelays   atomic.Int64 // deliveries given extra latency
+	FaultStalls   atomic.Int64 // resolutions stalled
+	DupSuppressed atomic.Int64 // duplicate copies filtered at the receiver
+
 	// SpecLifetime is guess→resolution latency (ns), observed at both
 	// commit and rollback. ReplayDepth is log entries replayed per
 	// rollback.
@@ -171,6 +179,13 @@ type MetricsSnapshot struct {
 
 	Annotations int64 `json:"annotations"`
 
+	FaultCrashes  int64 `json:"fault_crashes"`
+	FaultDrops    int64 `json:"fault_drops"`
+	FaultDups     int64 `json:"fault_dups"`
+	FaultDelays   int64 `json:"fault_delays"`
+	FaultStalls   int64 `json:"fault_stalls"`
+	DupSuppressed int64 `json:"dup_suppressed"`
+
 	SpecLifetime HistogramSnapshot `json:"spec_lifetime_ns"`
 	ReplayDepth  HistogramSnapshot `json:"replay_depth"`
 }
@@ -205,6 +220,13 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		ClassifyMisses: m.ClassifyMisses.Load(),
 
 		Annotations: m.Annotations.Load(),
+
+		FaultCrashes:  m.FaultCrashes.Load(),
+		FaultDrops:    m.FaultDrops.Load(),
+		FaultDups:     m.FaultDups.Load(),
+		FaultDelays:   m.FaultDelays.Load(),
+		FaultStalls:   m.FaultStalls.Load(),
+		DupSuppressed: m.DupSuppressed.Load(),
 
 		SpecLifetime: m.SpecLifetime.Snapshot(),
 		ReplayDepth:  m.ReplayDepth.Snapshot(),

@@ -149,6 +149,18 @@ func (o *Observer) emit(e Event) {
 		o.m.EffectsAborted.Add(e.N)
 	case KAnnotate:
 		o.m.Annotations.Add(1)
+	case KFaultCrash:
+		o.m.FaultCrashes.Add(1)
+	case KFaultDrop:
+		o.m.FaultDrops.Add(1)
+	case KFaultDup:
+		o.m.FaultDups.Add(1)
+	case KFaultDelay:
+		o.m.FaultDelays.Add(1)
+	case KFaultStall:
+		o.m.FaultStalls.Add(1)
+	case KDupSuppressed:
+		o.m.DupSuppressed.Add(1)
 	}
 	if o.ring != nil {
 		e.Seq = o.seq.Add(1)
@@ -277,6 +289,10 @@ func (o *Observer) Dump() string {
 	}
 	fmt.Fprintf(&b, "  classify:    hits=%d misses=%d (%.1f%% cached)\n",
 		m.ClassifyHits, m.ClassifyMisses, hitPct)
+	if m.FaultCrashes+m.FaultDrops+m.FaultDups+m.FaultDelays+m.FaultStalls > 0 {
+		fmt.Fprintf(&b, "  faults:      crashes=%d drops=%d dups=%d delays=%d stalls=%d (dup-suppressed=%d)\n",
+			m.FaultCrashes, m.FaultDrops, m.FaultDups, m.FaultDelays, m.FaultStalls, m.DupSuppressed)
+	}
 	if m.SpecLifetime.Count > 0 {
 		fmt.Fprintf(&b, "  spec lifetime: n=%d mean=%v max=%v\n", m.SpecLifetime.Count,
 			time.Duration(m.SpecLifetime.Mean()).Round(time.Microsecond),

@@ -54,6 +54,12 @@ func All() []Spec {
 			DefaultScale: 8,
 			Run:          TimeWarp,
 		},
+		{
+			Name:         "storm",
+			Desc:         "fault-injection oracle: speculate/judge/settle; scale = jobs per worker",
+			DefaultScale: 24,
+			Run:          Storm,
+		},
 	}
 }
 

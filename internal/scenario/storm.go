@@ -1,0 +1,135 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"hope/internal/engine"
+)
+
+// stormClaim asks the judge to rule on one job's assumption.
+type stormClaim struct {
+	W, J int
+	X    engine.AID
+}
+
+// stormRetry is the delivery policy every Storm send uses: generous
+// enough that no realistic drop rate exhausts it.
+var stormRetry = engine.RetryPolicy{Attempts: 64, Backoff: 50 * time.Microsecond}
+
+// Storm is the fault-injection oracle workload: W workers each run
+// `scale` jobs, speculating on a per-job assumption that a judge resolves
+// by content — job (w, j) is denied exactly when (w+j)%4 == 0 — while a
+// pessimistic sink collects the settled per-job results and prints them
+// sorted. The committed output is therefore a pure function of the
+// workload shape: every line, under any interleaving, any latency model,
+// and any fault plan. Running Storm under an aggressive plan and
+// comparing its output byte-for-byte against the fault-free run is the
+// paper's Theorems 5.1–6.3 as an executable check — crashes, drops,
+// duplicates, delays, and stalls may stretch the run but must never
+// change what commits.
+//
+// Each job closes its speculation window before the next opens (the
+// worker waits for the judge's ack), so claims and acks are always sent
+// definite and the judge and sink never speculate; only the per-job
+// result message rides on the assumption.
+func Storm(jobs int, opts ...engine.Option) (Result, error) {
+	if jobs <= 0 {
+		jobs = 24
+	}
+	const workers = 4
+	total := workers * jobs
+
+	rt := engine.New(append([]engine.Option{engine.WithOutput(io.Discard)}, opts...)...)
+	defer rt.Shutdown()
+
+	for w := 0; w < workers; w++ {
+		w := w
+		name := fmt.Sprintf("worker%d", w)
+		if err := rt.Spawn(name, func(p *engine.Proc) error {
+			for j := 0; j < jobs; j++ {
+				x := p.NewAID()
+				// Sent while definite: the judge never inherits
+				// speculation from a claim.
+				if err := p.SendRetry("judge", stormClaim{W: w, J: j, X: x}, stormRetry); err != nil {
+					return err
+				}
+				val := w*100 + j
+				if !p.Guess(x) {
+					val = -val // pessimistic path after the deny
+				}
+				if err := p.SendRetry("sink", fmt.Sprintf("w%d j%03d v%+d", w, j, val), stormRetry); err != nil {
+					return err
+				}
+				// The ack closes the job's speculation window: by the
+				// time it is consumed on a settled path, x is resolved
+				// and the worker is definite again.
+				if _, err := p.Recv(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return Result{}, err
+		}
+	}
+
+	if err := rt.Spawn("judge", func(p *engine.Proc) error {
+		for i := 0; i < total; i++ {
+			m, err := p.Recv()
+			if err != nil {
+				return err
+			}
+			c := m.Payload.(stormClaim)
+			if (c.W+c.J)%4 == 0 {
+				err = p.Deny(c.X)
+			} else {
+				err = p.Affirm(c.X)
+			}
+			if err != nil {
+				return err
+			}
+			if err := p.SendRetry(fmt.Sprintf("worker%d", c.W), "ack", stormRetry); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return Result{}, err
+	}
+
+	denies := jobs // per j, exactly one of the 4 workers has (w+j)%4 == 0
+	start := time.Now()
+	if err := rt.Spawn("sink", func(p *engine.Proc) error {
+		results := make([]string, 0, total)
+		for i := 0; i < total; i++ {
+			m, err := p.RecvSettled()
+			if err != nil {
+				return err
+			}
+			results = append(results, m.Payload.(string))
+		}
+		sort.Strings(results)
+		for _, r := range results {
+			p.Printf("%s\n", r)
+		}
+		return nil
+	}); err != nil {
+		return Result{}, err
+	}
+
+	rt.Quiesce()
+	elapsed := time.Since(start)
+	rt.Shutdown()
+	for _, err := range rt.Wait() {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{
+		Elapsed: elapsed,
+		Note:    fmt.Sprintf("%d jobs settled (%d denied)", total, denies),
+	}, nil
+}

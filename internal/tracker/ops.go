@@ -116,6 +116,9 @@ func (t *Tracker) Deliver(p ids.Proc, tags []ids.AID, logIndex int) (DeliverOutc
 
 // Affirm executes affirm(X) for process p (Section 5.2, Equations 7–14).
 func (t *Tracker) Affirm(p ids.Proc, x ids.AID) error {
+	if s := t.stall; s != nil {
+		s(p, "affirm")
+	}
 	t.mu.Lock()
 	ps, err := t.procLocked(p)
 	if err != nil {
@@ -201,6 +204,9 @@ func (t *Tracker) affirmLocked(ps *procState, x ids.AID, ctx *opCtx) error {
 
 // Deny executes deny(X) for process p (Section 5.3, Equations 15–16).
 func (t *Tracker) Deny(p ids.Proc, x ids.AID) error {
+	if s := t.stall; s != nil {
+		s(p, "deny")
+	}
 	t.mu.Lock()
 	ps, err := t.procLocked(p)
 	if err != nil {
@@ -252,6 +258,9 @@ func (t *Tracker) denyLocked(ps *procState, x ids.AID, ctx *opCtx) error {
 // atomically: the dependence test and the induced affirm/deny happen in
 // one critical section.
 func (t *Tracker) FreeOf(p ids.Proc, x ids.AID) error {
+	if s := t.stall; s != nil {
+		s(p, "free_of")
+	}
 	t.mu.Lock()
 	ps, err := t.procLocked(p)
 	if err != nil {
@@ -434,6 +443,62 @@ func removeInterval(ps *procState, iv *intervalState) {
 			return
 		}
 	}
+}
+
+// DenyAllUnresolved resolves every outstanding assumption pessimistically
+// — the deny-all-unresolved drain policy of a graceful shutdown
+// (engine.ShutdownDrain). It alternates two passes under one critical
+// section until a fixpoint: definitively deny every unresolved, unclaimed
+// assumption (cascading rollbacks as usual), then discard any speculative
+// intervals that survive (possible when intervals hold each other's
+// assumptions claimed via speculative denies), which releases their
+// claims for the next deny pass. Afterwards every assumption is Affirmed
+// or Denied and every process is definite. Denials are system-level
+// (§5.6): replayed affirms of a swept assumption are treated as stale
+// re-executions, not conflicts. Returns the number of drain actions taken
+// (assumptions denied plus interval chains force-discarded); zero means
+// the tracker was already fully settled and no rollback was issued.
+func (t *Tracker) DenyAllUnresolved() int {
+	t.mu.Lock()
+	ctx := t.newOpCtxLocked()
+	denied := 0
+	for {
+		progress := false
+		for _, a := range t.aids {
+			if a.status != Unresolved || a.claimed {
+				continue
+			}
+			a.claimed = true
+			a.status = Denied
+			a.systemDenied = true
+			t.stats.DefiniteDenies++
+			t.obs.Emit(obs.KDenied, ids.NoProc, a.id, ids.NoInterval, 0)
+			t.rollbackDependentsLocked(a, ctx)
+			ctx.resolved = true
+			denied++
+			progress = true
+		}
+		if progress {
+			continue
+		}
+		// No deniable assumption left, but claim cycles may keep
+		// intervals alive: discard them directly, releasing their claims.
+		for _, ps := range t.procs {
+			if len(ps.live) > 0 {
+				t.rollbackFromLocked(ps.live[0], ctx)
+				ctx.resolved = true
+				denied++
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	t.commitLocked(ctx)
+	t.mu.Unlock()
+	t.finish(ctx)
+	return denied
 }
 
 // LiveIntervals reports p's speculative interval count (diagnostics).

@@ -208,6 +208,12 @@ type Tracker struct {
 	// lifecycle events through it; nothing in the tracker ever reads it,
 	// so observation cannot perturb dependency state or replay.
 	obs *obs.Observer
+	// stall is the fault-injection resolution-stall hook (nil = no-op):
+	// called in the resolving process's goroutine at the top of
+	// Affirm/Deny/FreeOf, before the critical section, so an injected
+	// sleep widens the speculation window the resolution would close
+	// without ever holding the tracker lock.
+	stall func(p ids.Proc, op string)
 }
 
 // New returns an empty tracker.
@@ -228,6 +234,13 @@ func New() *Tracker {
 // before the tracker sees traffic: the field is read without
 // synchronization on every operation.
 func (t *Tracker) SetObserver(o *obs.Observer) { t.obs = o }
+
+// SetStallHook installs the resolution-stall fault hook (nil detaches):
+// fn is invoked with the resolving process and the operation name
+// ("affirm", "deny", "free_of") before the resolution takes the tracker
+// lock, and may sleep. Like SetObserver, call it before the tracker sees
+// traffic — the field is read without synchronization.
+func (t *Tracker) SetStallHook(fn func(p ids.Proc, op string)) { t.stall = fn }
 
 // Register adds a process. The returned identifier names it in all
 // subsequent calls.
