@@ -30,7 +30,7 @@ func cascade(depth, procs int, denyOutermost bool) (time.Duration, tracker.Stats
 			aids[i] = p.NewAID()
 		}
 		select {
-		case aidCh <- aids:
+		case aidCh <- aids: //hopevet:ignore escape -- out-of-band AID handoff to the harness; the external denial is the experiment
 		default:
 		}
 		taken := 0

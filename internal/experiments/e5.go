@@ -37,7 +37,7 @@ func E5TrackerOverhead(w io.Writer) error {
 				}
 			}
 			//hopelint:ignore nondeterminism -- timing harness; self-affirmed body never replays
-			done <- time.Since(start)
+			done <- time.Since(start) //hopevet:ignore escape -- timing-harness handoff; the body never replays past this send
 			return nil
 		}); err != nil {
 			return err
@@ -57,15 +57,15 @@ func E5TrackerOverhead(w io.Writer) error {
 		done := make(chan time.Duration, 1)
 		if err := rt.Spawn("p", func(p *engine.Proc) error {
 			for i := 0; i < depth; i++ {
-				p.Guess(p.NewAID()) // build the chain
+				p.Guess(p.NewAID()) //hopevet:ignore specleak -- chain-depth harness; the unresolved chain is the workload
 			}
 			//hopelint:ignore nondeterminism -- timing harness; guesses stay unresolved, no replay
 			start := time.Now()
 			for i := 0; i < ops; i++ {
-				p.Guess(p.NewAID())
+				p.Guess(p.NewAID()) //hopevet:ignore specleak -- chain-depth harness; the unresolved chain is the workload
 			}
 			//hopelint:ignore nondeterminism -- timing harness; guesses stay unresolved, no replay
-			done <- time.Since(start)
+			done <- time.Since(start) //hopevet:ignore escape -- timing-harness handoff; the body never replays past this send
 			return nil
 		}); err != nil {
 			return err
@@ -92,7 +92,7 @@ func E5TrackerOverhead(w io.Writer) error {
 		}
 		if err := rt.Spawn("p", func(p *engine.Proc) error {
 			for i := 0; i < depth; i++ {
-				p.Guess(p.NewAID())
+				p.Guess(p.NewAID()) //hopevet:ignore specleak -- chain-depth harness; the unresolved chain is the workload
 			}
 			//hopelint:ignore nondeterminism -- timing harness; guesses stay unresolved, no replay
 			start := time.Now()
@@ -102,7 +102,7 @@ func E5TrackerOverhead(w io.Writer) error {
 				}
 			}
 			//hopelint:ignore nondeterminism -- timing harness; guesses stay unresolved, no replay
-			done <- time.Since(start)
+			done <- time.Since(start) //hopevet:ignore escape -- timing-harness handoff; the body never replays past this send
 			return nil
 		}); err != nil {
 			return err
@@ -153,7 +153,7 @@ func E5TrackerOverhead(w io.Writer) error {
 				}
 			}
 			//hopelint:ignore nondeterminism -- timing harness; self-affirmed body never replays
-			done <- time.Since(start)
+			done <- time.Since(start) //hopevet:ignore escape -- timing-harness handoff; the body never replays past this send
 			return nil
 		}); err != nil {
 			return err

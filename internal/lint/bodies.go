@@ -7,41 +7,12 @@ import (
 	"go/types"
 )
 
-// enginePath is the package defining Runtime.Spawn, Proc, and Loop.
-const enginePath = "hope/internal/engine"
-
-// runtimePackages are the layers that implement the HOPE primitives
-// rather than use them: the contract governs code running above the
-// runtime, so the transitive walk never descends into these.
-var runtimePackages = map[string]bool{
-	"hope":                    true,
-	"hope/internal/engine":    true,
-	"hope/internal/tracker":   true,
-	"hope/internal/ids":       true,
-	"hope/internal/sets":      true,
-	"hope/internal/semantics": true,
-	// obs is observation, not computation: its hook methods are
-	// write-only from the runtime's point of view (nothing the body can
-	// read back), so calling e.g. Observer.Annotate from a body cannot
-	// introduce replay divergence even though obs internally reads
-	// clocks and takes locks.
-	"hope/internal/obs": true,
-}
-
-// funcKey identifies one analyzed function by the position of its
-// declaration or literal (unique within the shared FileSet).
-type funcKey token.Pos
-
 // analysis accumulates diagnostics across one Analyze call.
 type analysis struct {
+	resolver *Resolver
 	loader   *Loader
 	visited  map[funcKey]bool
 	diags    []Diagnostic
-	analyzed []*Package
-
-	byTypes   map[*types.Package]*Package
-	declIndex map[*Package]map[*types.Func]*ast.FuncDecl
-	litIndex  map[*Package]map[types.Object]*ast.FuncLit
 }
 
 func (a *analysis) errorf(pos token.Pos, rule, format string, args ...any) {
@@ -52,216 +23,19 @@ func (a *analysis) errorf(pos token.Pos, rule, format string, args ...any) {
 	})
 }
 
-// register tracks a package whose files participate in the analysis.
-func (a *analysis) register(pkg *Package) {
-	if a.byTypes == nil {
-		a.byTypes = make(map[*types.Package]*Package)
-		a.declIndex = make(map[*Package]map[*types.Func]*ast.FuncDecl)
-		a.litIndex = make(map[*Package]map[types.Object]*ast.FuncLit)
-	}
-	if _, ok := a.byTypes[pkg.Pkg]; ok {
-		return
-	}
-	a.byTypes[pkg.Pkg] = pkg
-	a.analyzed = append(a.analyzed, pkg)
-}
-
 // run discovers every process-body root in pkg and analyzes each.
 func (a *analysis) run(pkg *Package) error {
-	if runtimePackages[pkg.Path] {
+	if IsRuntimePackage(pkg.Path) || pkg.Path == obsPath {
 		// The runtime layers implement the primitives (engine.Loop
-		// spawns its own bookkeeping bodies); the contract does not
-		// govern them.
+		// spawns its own bookkeeping bodies), and obs is the
+		// observation plane those layers call into; the contract does
+		// not govern them.
 		return nil
 	}
-	a.register(pkg)
-	var roots []bodyRoot
-	for _, f := range pkg.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			for _, expr := range a.bodyArgs(pkg, call) {
-				if rpkg, fn := a.resolveFuncExpr(pkg, expr); fn != nil {
-					roots = append(roots, bodyRoot{pkg: rpkg, fn: fn})
-				}
-			}
-			return true
-		})
-	}
-	for _, r := range roots {
-		a.analyzeFunc(r.pkg, r.fn)
+	for _, r := range a.resolver.Roots(pkg) {
+		a.analyzeFunc(r.Pkg, r.Fn)
 	}
 	return nil
-}
-
-type bodyRoot struct {
-	pkg *Package
-	fn  ast.Node // *ast.FuncLit or *ast.FuncDecl
-}
-
-// bodyArgs returns the arguments of call that are process bodies: the
-// body of Runtime.Spawn and the step function of hope.Loop/engine.Loop.
-func (a *analysis) bodyArgs(pkg *Package, call *ast.CallExpr) []ast.Expr {
-	switch fun := call.Fun.(type) {
-	case *ast.SelectorExpr:
-		if sel, ok := pkg.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
-			obj, _ := sel.Obj().(*types.Func)
-			if isEngineFunc(obj, "Spawn") && len(call.Args) == 2 {
-				return call.Args[1:2]
-			}
-			return nil
-		}
-		// Qualified call: engine.Loop(...) / hope.Loop(...).
-		if obj, _ := pkg.Info.Uses[fun.Sel].(*types.Func); isLoop(obj) && len(call.Args) == 5 {
-			return call.Args[4:5]
-		}
-	case *ast.Ident:
-		if obj, _ := pkg.Info.Uses[fun].(*types.Func); isLoop(obj) && len(call.Args) == 5 {
-			return call.Args[4:5]
-		}
-	}
-	return nil
-}
-
-func isEngineFunc(obj *types.Func, name string) bool {
-	return obj != nil && obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == enginePath
-}
-
-func isLoop(obj *types.Func) bool {
-	if obj == nil || obj.Name() != "Loop" || obj.Pkg() == nil {
-		return false
-	}
-	p := obj.Pkg().Path()
-	return p == enginePath || p == "hope"
-}
-
-// resolveFuncExpr resolves a function-valued expression to the package
-// and AST node of its definition: a literal, a named top-level function,
-// a method value, or a local variable assigned exactly one literal.
-func (a *analysis) resolveFuncExpr(pkg *Package, expr ast.Expr) (*Package, ast.Node) {
-	switch e := expr.(type) {
-	case *ast.FuncLit:
-		return pkg, e
-	case *ast.Ident:
-		switch obj := pkg.Info.Uses[e].(type) {
-		case *types.Func:
-			return a.findDecl(obj)
-		case *types.Var:
-			if lit := a.localLit(pkg, obj); lit != nil {
-				return pkg, lit
-			}
-		}
-	case *ast.SelectorExpr:
-		if sel, ok := pkg.Info.Selections[e]; ok && sel.Kind() == types.MethodVal {
-			if obj, ok := sel.Obj().(*types.Func); ok {
-				return a.findDecl(obj)
-			}
-			return nil, nil
-		}
-		if obj, ok := pkg.Info.Uses[e.Sel].(*types.Func); ok {
-			return a.findDecl(obj)
-		}
-	}
-	return nil, nil
-}
-
-// findDecl locates the FuncDecl of fn if it is defined in this module
-// (outside the runtime layers), loading its package if needed.
-func (a *analysis) findDecl(fn *types.Func) (*Package, ast.Node) {
-	if fn == nil || fn.Pkg() == nil {
-		return nil, nil
-	}
-	path := fn.Pkg().Path()
-	if !a.loader.inModule(path) || runtimePackages[path] {
-		return nil, nil
-	}
-	pkg, ok := a.byTypes[fn.Pkg()]
-	if !ok {
-		loaded, err := a.loader.load(path)
-		if err != nil || loaded.Pkg != fn.Pkg() {
-			return nil, nil
-		}
-		a.register(loaded)
-		pkg = loaded
-	}
-	idx := a.declIndex[pkg]
-	if idx == nil {
-		idx = make(map[*types.Func]*ast.FuncDecl)
-		for _, f := range pkg.Files {
-			for _, d := range f.Decls {
-				if fd, ok := d.(*ast.FuncDecl); ok {
-					if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
-						idx[obj] = fd
-					}
-				}
-			}
-		}
-		a.declIndex[pkg] = idx
-	}
-	// A generic function's call sites resolve to the origin object.
-	if origin := fn.Origin(); origin != nil {
-		fn = origin
-	}
-	if fd, ok := idx[fn]; ok && fd.Body != nil {
-		return pkg, fd
-	}
-	return nil, nil
-}
-
-// localLit resolves a local function variable to its literal when the
-// variable is bound to exactly one FuncLit in the package.
-func (a *analysis) localLit(pkg *Package, obj types.Object) *ast.FuncLit {
-	idx := a.litIndex[pkg]
-	if idx == nil {
-		idx = make(map[types.Object]*ast.FuncLit)
-		ambiguous := make(map[types.Object]bool)
-		bind := func(id *ast.Ident, rhs ast.Expr) {
-			lit, ok := rhs.(*ast.FuncLit)
-			if !ok {
-				return
-			}
-			o := pkg.Info.Defs[id]
-			if o == nil {
-				o = pkg.Info.Uses[id]
-			}
-			if o == nil {
-				return
-			}
-			if _, dup := idx[o]; dup {
-				ambiguous[o] = true
-				return
-			}
-			idx[o] = lit
-		}
-		for _, f := range pkg.Files {
-			ast.Inspect(f, func(n ast.Node) bool {
-				switch s := n.(type) {
-				case *ast.AssignStmt:
-					if len(s.Lhs) == len(s.Rhs) {
-						for i, lhs := range s.Lhs {
-							if id, ok := lhs.(*ast.Ident); ok {
-								bind(id, s.Rhs[i])
-							}
-						}
-					}
-				case *ast.ValueSpec:
-					if len(s.Names) == len(s.Values) {
-						for i, id := range s.Names {
-							bind(id, s.Values[i])
-						}
-					}
-				}
-				return true
-			})
-		}
-		for o := range ambiguous {
-			delete(idx, o)
-		}
-		a.litIndex[pkg] = idx
-	}
-	return idx[obj]
 }
 
 // analyzeFunc walks one body function (root or transitive helper),
@@ -273,50 +47,13 @@ func (a *analysis) analyzeFunc(pkg *Package, fn ast.Node) {
 	}
 	a.visited[key] = true
 
-	var body *ast.BlockStmt
-	switch f := fn.(type) {
-	case *ast.FuncLit:
-		body = f.Body
-	case *ast.FuncDecl:
-		body = f.Body
-	default:
+	body := FuncBody(fn)
+	if body == nil {
 		return
 	}
-	w := &walker{a: a, pkg: pkg, fn: fn, exempt: effectCallbacks(pkg, body)}
+	w := &walker{a: a, pkg: pkg, fn: fn, exempt: EffectCallbacks(pkg, body)}
 	w.walk(body)
 	w.reportConflicts()
-}
-
-// effectCallbacks collects the function literals passed to Proc.Effect
-// within body: effect callbacks run at commit/abort time, outside replay,
-// and are exempt from every rule.
-func effectCallbacks(pkg *Package, body *ast.BlockStmt) map[*ast.FuncLit]bool {
-	exempt := make(map[*ast.FuncLit]bool)
-	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		s, ok := pkg.Info.Selections[sel]
-		if !ok || s.Kind() != types.MethodVal {
-			return true
-		}
-		obj, _ := s.Obj().(*types.Func)
-		if !isEngineFunc(obj, "Effect") {
-			return true
-		}
-		for _, arg := range call.Args {
-			if lit, ok := arg.(*ast.FuncLit); ok {
-				exempt[lit] = true
-			}
-		}
-		return true
-	})
-	return exempt
 }
 
 // walker traverses one analyzed function, maintaining the ancestor stack
@@ -380,7 +117,19 @@ func (w *walker) checkCall(call *ast.CallExpr) {
 	w.checkRawIOCall(call, callee)
 	w.recordResolution(call, callee)
 	if callee != nil {
-		if pkg, decl := w.a.findDecl(callee); decl != nil {
+		// Observation hooks are legal only while they stay write-only:
+		// a body that reads metric or event state back gets values that
+		// depend on global scheduling, which diverge under replay. The
+		// walk never descends into obs either way — its internals read
+		// clocks and take locks on the runtime's behalf.
+		if callee.Pkg() != nil && callee.Pkg().Path() == obsPath {
+			if !WriteOnlyObsHooks[callee.Name()] {
+				w.a.errorf(call.Pos(), RuleNondeterminism,
+					"call to obs %s.%s inside a process body reads observation state back into the computation: metric and event values depend on scheduling and diverge under replay; observation from a body must stay write-only (Emit/Annotate/... hooks)", recvName(callee), callee.Name())
+			}
+			return
+		}
+		if pkg, decl := w.a.resolver.Decl(callee); decl != nil {
 			w.a.analyzeFunc(pkg, decl)
 		}
 		return
@@ -390,24 +139,32 @@ func (w *walker) checkCall(call *ast.CallExpr) {
 	// too — analyze it with its own capture boundary.
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
 		if obj, ok := w.pkg.Info.Uses[id].(*types.Var); ok {
-			if lit := w.a.localLit(w.pkg, obj); lit != nil && lit.Pos() < w.fn.Pos() {
+			if lit := w.a.resolver.LocalLit(w.pkg, obj); lit != nil && lit.Pos() < w.fn.Pos() {
 				w.a.analyzeFunc(w.pkg, lit)
 			}
 		}
 	}
 }
 
-// callee resolves the called function object, if any.
-func (w *walker) callee(call *ast.CallExpr) *types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		if obj, ok := w.pkg.Info.Uses[fun].(*types.Func); ok {
-			return obj
+// recvName names a method's receiver type ("Observer") or, for a plain
+// function, its package ("obs").
+func recvName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
 		}
-	case *ast.SelectorExpr:
-		if obj, ok := w.pkg.Info.Uses[fun.Sel].(*types.Func); ok {
-			return obj
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name()
 		}
 	}
-	return nil
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name()
+	}
+	return "?"
+}
+
+// callee resolves the called function object, if any.
+func (w *walker) callee(call *ast.CallExpr) *types.Func {
+	return Callee(w.pkg, call)
 }

@@ -12,11 +12,12 @@ import (
 // and races with whatever else reads it. Mutable state belongs inside
 // the body; results leave through p.Effect at commit time.
 //
-// Only bare identifiers are checked. Writes through captured pointers,
-// fields, or index expressions are deliberately out of scope: shared
-// structures handed to a body (result slices filled in effect
-// callbacks, sync.Map scoreboards) are the established pattern for
-// collecting output, and flagging them would bury the real findings.
+// Only bare identifiers are checked here. Writes through captured
+// pointers, fields, or index expressions need alias tracking that a
+// syntactic walk cannot do; the flow-sensitive escape pass in
+// internal/vet (hopevet's "escape" rule) covers exactly that class, so
+// this rule stays cheap and the two tools partition the space: hopelint
+// flags the direct write, hopevet the aliased one.
 func (w *walker) checkCapturedWrite(lhs ast.Expr) {
 	id, ok := ast.Unparen(lhs).(*ast.Ident)
 	if !ok || id.Name == "_" {

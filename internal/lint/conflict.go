@@ -33,7 +33,7 @@ func (w *walker) recordResolution(call *ast.CallExpr, callee *types.Func) {
 	if !affirm && callee.Name() != "Deny" {
 		return
 	}
-	if !isEngineFunc(callee, callee.Name()) {
+	if !IsEngineFunc(callee, callee.Name()) {
 		return
 	}
 	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)

@@ -70,11 +70,17 @@ func (d Diagnostic) String() string {
 // diagnostics, sorted by position. Diagnostics may point into other
 // packages of the module when a body calls helpers there.
 func Analyze(l *Loader, pkg *Package) ([]Diagnostic, error) {
-	a := &analysis{loader: l, visited: make(map[funcKey]bool)}
+	a := &analysis{resolver: NewResolver(l), loader: l, visited: make(map[funcKey]bool)}
 	if err := a.run(pkg); err != nil {
 		return nil, err
 	}
-	diags := a.filterIgnored()
+	diags := Suppress(ignoreDirective, l.Fset, a.resolver.Analyzed(), a.diags)
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, then rule.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -88,16 +94,16 @@ func Analyze(l *Loader, pkg *Package) ([]Diagnostic, error) {
 		}
 		return diags[i].Rule < diags[j].Rule
 	})
-	return diags, nil
 }
 
 // ignoreDirective is the comment prefix of the escape hatch.
 const ignoreDirective = "//hopelint:ignore"
 
-// ignoredRules parses one comment line; ok reports whether it is an
-// ignore directive, and rules holds the named rules (nil = all).
-func ignoredRules(text string) (rules map[string]bool, ok bool) {
-	rest, found := strings.CutPrefix(strings.TrimSpace(text), ignoreDirective)
+// ignoredRules parses one comment line against a directive prefix
+// ("//hopelint:ignore", "//hopevet:ignore"); ok reports whether it is
+// an ignore directive, and rules holds the named rules (nil = all).
+func ignoredRules(directive, text string) (rules map[string]bool, ok bool) {
+	rest, found := strings.CutPrefix(strings.TrimSpace(text), directive)
 	if !found || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
 		return nil, false
 	}
@@ -118,20 +124,23 @@ func ignoredRules(text string) (rules map[string]bool, ok bool) {
 	return rules, true
 }
 
-// filterIgnored drops diagnostics suppressed by an ignore directive on
-// the same line or the line directly above, in any analyzed file.
-func (a *analysis) filterIgnored() []Diagnostic {
+// Suppress drops diagnostics suppressed by an ignore directive (e.g.
+// "//hopevet:ignore escape -- reason") on the same line or the line
+// directly above, scanning the comments of every file in pkgs. It is
+// shared by hopelint and the internal/vet checker, each with its own
+// directive prefix.
+func Suppress(directive string, fset *token.FileSet, pkgs []*Package, diags []Diagnostic) []Diagnostic {
 	// file → line → rule set (nil entry = all rules ignored).
 	ignores := make(map[string]map[int]map[string]bool)
-	for _, pkg := range a.analyzed {
+	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					rules, ok := ignoredRules(c.Text)
+					rules, ok := ignoredRules(directive, c.Text)
 					if !ok {
 						continue
 					}
-					pos := a.loader.Fset.Position(c.Pos())
+					pos := fset.Position(c.Pos())
 					m := ignores[pos.Filename]
 					if m == nil {
 						m = make(map[int]map[string]bool)
@@ -153,8 +162,8 @@ func (a *analysis) filterIgnored() []Diagnostic {
 		}
 		return rules == nil || rules[d.Rule]
 	}
-	var kept []Diagnostic
-	for _, d := range a.diags {
+	kept := diags[:0]
+	for _, d := range diags {
 		if match(d, d.Pos.Line) || match(d, d.Pos.Line-1) {
 			continue
 		}

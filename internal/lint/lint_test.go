@@ -126,7 +126,7 @@ func TestIgnoredRulesParsing(t *testing.T) {
 		{"// plain comment", false, nil},
 	}
 	for _, c := range cases {
-		rules, ok := ignoredRules(c.text)
+		rules, ok := ignoredRules(ignoreDirective, c.text)
 		if ok != c.ok {
 			t.Errorf("ignoredRules(%q) ok = %v, want %v", c.text, ok, c.ok)
 			continue

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
 	"strings"
@@ -10,56 +11,62 @@ import (
 // body prints directly is visible even if the execution rolls back,
 // while p.Printf buffers it until the surrounding window settles.
 func (w *walker) checkRawIOCall(call *ast.CallExpr, callee *types.Func) {
+	if msg := RawIOMessage(w.pkg, call, callee); msg != "" {
+		w.a.errorf(call.Pos(), RuleRawIO, "%s", msg)
+	}
+}
+
+// RawIOMessage classifies a call as raw I/O that bypasses the effect
+// machinery, returning a non-empty diagnostic message when it does. The
+// classifier is shared: hopelint reports every such call in a body, and
+// internal/vet's specleak pass reuses it to flag the strictly worse
+// case of irrevocable I/O issued while a speculation is unresolved.
+func RawIOMessage(pkg *Package, call *ast.CallExpr, callee *types.Func) string {
 	// Builtin print/println write straight to stderr.
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
-		if b, ok := w.pkg.Info.Uses[id].(*types.Builtin); ok && (b.Name() == "print" || b.Name() == "println") {
-			w.a.errorf(call.Pos(), RuleRawIO,
-				"builtin %s inside a process body writes to stderr before the outcome settles; use p.Printf", b.Name())
-			return
+		if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok && (b.Name() == "print" || b.Name() == "println") {
+			return fmt.Sprintf("builtin %s inside a process body writes to stderr before the outcome settles; use p.Printf", b.Name())
 		}
 	}
 	if callee == nil || callee.Pkg() == nil {
-		return
+		return ""
 	}
 	name := callee.Name()
 	switch callee.Pkg().Path() {
 	case "fmt":
 		switch {
 		case name == "Print" || name == "Printf" || name == "Println":
-			w.a.errorf(call.Pos(), RuleRawIO,
-				"call to fmt.%s inside a process body: output escapes effect buffering and survives rollback; use p.Printf", name)
+			return fmt.Sprintf("call to fmt.%s inside a process body: output escapes effect buffering and survives rollback; use p.Printf", name)
 		case strings.HasPrefix(name, "Fprint") && len(call.Args) > 0:
-			if target := describeIOTarget(w.pkg, call.Args[0]); target != "" {
-				w.a.errorf(call.Pos(), RuleRawIO,
-					"fmt.%s to %s inside a process body: output escapes effect buffering and survives rollback; use p.Printf or wrap the write in p.Effect", name, target)
+			if target := describeIOTarget(pkg, call.Args[0]); target != "" {
+				return fmt.Sprintf("fmt.%s to %s inside a process body: output escapes effect buffering and survives rollback; use p.Printf or wrap the write in p.Effect", name, target)
 			}
 		}
 	case "log":
-		w.a.errorf(call.Pos(), RuleRawIO,
-			"call to log.%s inside a process body: output escapes effect buffering and survives rollback; use p.Printf or wrap the write in p.Effect", name)
+		return fmt.Sprintf("call to log.%s inside a process body: output escapes effect buffering and survives rollback; use p.Printf or wrap the write in p.Effect", name)
 	case "os":
 		switch name {
 		case "WriteFile", "Create", "OpenFile", "Remove", "RemoveAll",
 			"Mkdir", "MkdirAll", "Rename", "Truncate", "Chmod", "Symlink", "Link":
-			w.a.errorf(call.Pos(), RuleRawIO,
-				"call to os.%s inside a process body: filesystem effects survive rollback; wrap the action in p.Effect", name)
+			return fmt.Sprintf("call to os.%s inside a process body: filesystem effects survive rollback; wrap the action in p.Effect", name)
 		default:
-			w.checkFileMethod(call, callee)
+			return fileMethodMessage(callee)
 		}
 	}
+	return ""
 }
 
-// checkFileMethod flags writes through an *os.File method value.
-func (w *walker) checkFileMethod(call *ast.CallExpr, callee *types.Func) {
+// fileMethodMessage classifies writes through an *os.File method value.
+func fileMethodMessage(callee *types.Func) string {
 	sig, ok := callee.Type().(*types.Signature)
 	if !ok || sig.Recv() == nil || !isOSFile(sig.Recv().Type()) {
-		return
+		return ""
 	}
 	switch name := callee.Name(); name {
 	case "Write", "WriteString", "WriteAt", "ReadFrom", "Sync", "Truncate":
-		w.a.errorf(call.Pos(), RuleRawIO,
-			"File.%s inside a process body: the write is visible even if the execution rolls back; wrap it in p.Effect", name)
+		return fmt.Sprintf("File.%s inside a process body: the write is visible even if the execution rolls back; wrap it in p.Effect", name)
 	}
+	return ""
 }
 
 // describeIOTarget reports a non-empty description when expr is an

@@ -1,0 +1,353 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the shared body-discovery layer: it knows how to find
+// process-body roots (the function arguments of Runtime.Spawn and the
+// step functions of hope.Loop / engine.Loop) and how to resolve a
+// function-valued expression or a *types.Func back to the AST of its
+// definition, loading sibling packages of the module on demand. Both
+// the syntactic linter in this package and the SSA-style dataflow
+// checker in internal/vet drive their traversals through a Resolver so
+// the two tools agree on what counts as a body.
+
+// enginePath is the package defining Runtime.Spawn, Proc, and Loop.
+const enginePath = "hope/internal/engine"
+
+// obsPath is the observability layer; calls into it from a body are
+// governed by the write-only allowlist below, not the runtime exemption.
+const obsPath = "hope/internal/obs"
+
+// runtimePackages are the layers that implement the HOPE primitives
+// rather than use them: the contract governs code running above the
+// runtime, so the transitive walk never descends into these.
+var runtimePackages = map[string]bool{
+	"hope":                    true,
+	"hope/internal/engine":    true,
+	"hope/internal/tracker":   true,
+	"hope/internal/ids":       true,
+	"hope/internal/sets":      true,
+	"hope/internal/semantics": true,
+}
+
+// IsRuntimePackage reports whether path names a runtime layer that the
+// body walk never descends into.
+func IsRuntimePackage(path string) bool { return runtimePackages[path] }
+
+// WriteOnlyObsHooks are the obs.Observer (and obs.Histogram) methods a
+// process body may call: hooks that record an observation and return
+// nothing the body could read back, so they cannot feed scheduling- or
+// clock-dependent values into replayed control flow. Everything else in
+// internal/obs — Snapshot, Metrics, Events, Now, ProcName, the Dump and
+// Write exporters — hands observation state back to the caller and is
+// flagged. TestObsAllowlistIsWriteOnly in internal/vet checks this list
+// against the obs API: every allowlisted method must have no results.
+var WriteOnlyObsHooks = map[string]bool{
+	"Emit":         true,
+	"Annotate":     true,
+	"MsgEnqueued":  true,
+	"ClassifyScan": true,
+	"SchedHeap":    true,
+	"RegisterProc": true,
+	"Observe":      true,
+}
+
+// funcKey identifies one analyzed function by the position of its
+// declaration or literal (unique within the shared FileSet).
+type funcKey token.Pos
+
+// Body is one process-body root: the AST of a function literal or
+// declaration passed to Spawn/Loop, with the package it lives in.
+type Body struct {
+	Pkg *Package
+	Fn  ast.Node // *ast.FuncLit or *ast.FuncDecl
+}
+
+// FuncBody returns the block statement of a *ast.FuncLit or
+// *ast.FuncDecl, or nil.
+func FuncBody(fn ast.Node) *ast.BlockStmt {
+	switch f := fn.(type) {
+	case *ast.FuncLit:
+		return f.Body
+	case *ast.FuncDecl:
+		return f.Body
+	}
+	return nil
+}
+
+// Resolver resolves function expressions and call targets to defining
+// AST nodes across the packages of one analysis, caching per-package
+// declaration and closure indexes. It also tracks which packages have
+// participated, so directive scans (ignore comments) cover every file
+// the analysis read.
+type Resolver struct {
+	loader    *Loader
+	byTypes   map[*types.Package]*Package
+	analyzed  []*Package
+	declIndex map[*Package]map[*types.Func]*ast.FuncDecl
+	litIndex  map[*Package]map[types.Object]*ast.FuncLit
+}
+
+// NewResolver creates a Resolver over l's package cache.
+func NewResolver(l *Loader) *Resolver {
+	return &Resolver{
+		loader:    l,
+		byTypes:   make(map[*types.Package]*Package),
+		declIndex: make(map[*Package]map[*types.Func]*ast.FuncDecl),
+		litIndex:  make(map[*Package]map[types.Object]*ast.FuncLit),
+	}
+}
+
+// Loader returns the loader the resolver reads packages through.
+func (r *Resolver) Loader() *Loader { return r.loader }
+
+// Register tracks a package whose files participate in the analysis.
+func (r *Resolver) Register(pkg *Package) {
+	if _, ok := r.byTypes[pkg.Pkg]; ok {
+		return
+	}
+	r.byTypes[pkg.Pkg] = pkg
+	r.analyzed = append(r.analyzed, pkg)
+}
+
+// Analyzed returns every package registered so far, in first-seen order.
+func (r *Resolver) Analyzed() []*Package { return r.analyzed }
+
+// Roots discovers every process-body root in pkg: the body argument of
+// each Runtime.Spawn call and the step function of each hope.Loop /
+// engine.Loop call, resolved to its defining literal or declaration.
+func (r *Resolver) Roots(pkg *Package) []Body {
+	r.Register(pkg)
+	var roots []Body
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, expr := range bodyArgs(pkg, call) {
+				if rpkg, fn := r.FuncExpr(pkg, expr); fn != nil {
+					roots = append(roots, Body{Pkg: rpkg, Fn: fn})
+				}
+			}
+			return true
+		})
+	}
+	return roots
+}
+
+// bodyArgs returns the arguments of call that are process bodies: the
+// body of Runtime.Spawn and the step function of hope.Loop/engine.Loop.
+func bodyArgs(pkg *Package, call *ast.CallExpr) []ast.Expr {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			obj, _ := sel.Obj().(*types.Func)
+			if IsEngineFunc(obj, "Spawn") && len(call.Args) == 2 {
+				return call.Args[1:2]
+			}
+			return nil
+		}
+		// Qualified call: engine.Loop(...) / hope.Loop(...).
+		if obj, _ := pkg.Info.Uses[fun.Sel].(*types.Func); isLoop(obj) && len(call.Args) == 5 {
+			return call.Args[4:5]
+		}
+	case *ast.Ident:
+		if obj, _ := pkg.Info.Uses[fun].(*types.Func); isLoop(obj) && len(call.Args) == 5 {
+			return call.Args[4:5]
+		}
+	}
+	return nil
+}
+
+// IsEngineFunc reports whether obj is the engine function or method of
+// the given name (Spawn, Guess, Affirm, Effect, ...).
+func IsEngineFunc(obj *types.Func, name string) bool {
+	return obj != nil && obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == enginePath
+}
+
+func isLoop(obj *types.Func) bool {
+	if obj == nil || obj.Name() != "Loop" || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == enginePath || p == "hope"
+}
+
+// FuncExpr resolves a function-valued expression to the package and AST
+// node of its definition: a literal, a named top-level function, a
+// method value, or a local variable assigned exactly one literal.
+func (r *Resolver) FuncExpr(pkg *Package, expr ast.Expr) (*Package, ast.Node) {
+	switch e := expr.(type) {
+	case *ast.FuncLit:
+		return pkg, e
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[e].(type) {
+		case *types.Func:
+			return r.Decl(obj)
+		case *types.Var:
+			if lit := r.LocalLit(pkg, obj); lit != nil {
+				return pkg, lit
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[e]; ok && sel.Kind() == types.MethodVal {
+			if obj, ok := sel.Obj().(*types.Func); ok {
+				return r.Decl(obj)
+			}
+			return nil, nil
+		}
+		if obj, ok := pkg.Info.Uses[e.Sel].(*types.Func); ok {
+			return r.Decl(obj)
+		}
+	}
+	return nil, nil
+}
+
+// Decl locates the FuncDecl of fn if it is defined in this module
+// (outside the runtime layers), loading its package if needed.
+func (r *Resolver) Decl(fn *types.Func) (*Package, ast.Node) {
+	if fn == nil || fn.Pkg() == nil {
+		return nil, nil
+	}
+	path := fn.Pkg().Path()
+	if !r.loader.inModule(path) || runtimePackages[path] || path == obsPath {
+		return nil, nil
+	}
+	pkg, ok := r.byTypes[fn.Pkg()]
+	if !ok {
+		loaded, err := r.loader.load(path)
+		if err != nil || loaded.Pkg != fn.Pkg() {
+			return nil, nil
+		}
+		r.Register(loaded)
+		pkg = loaded
+	}
+	idx := r.declIndex[pkg]
+	if idx == nil {
+		idx = make(map[*types.Func]*ast.FuncDecl)
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						idx[obj] = fd
+					}
+				}
+			}
+		}
+		r.declIndex[pkg] = idx
+	}
+	// A generic function's call sites resolve to the origin object.
+	if origin := fn.Origin(); origin != nil {
+		fn = origin
+	}
+	if fd, ok := idx[fn]; ok && fd.Body != nil {
+		return pkg, fd
+	}
+	return nil, nil
+}
+
+// LocalLit resolves a local function variable to its literal when the
+// variable is bound to exactly one FuncLit in the package.
+func (r *Resolver) LocalLit(pkg *Package, obj types.Object) *ast.FuncLit {
+	idx := r.litIndex[pkg]
+	if idx == nil {
+		idx = make(map[types.Object]*ast.FuncLit)
+		ambiguous := make(map[types.Object]bool)
+		bind := func(id *ast.Ident, rhs ast.Expr) {
+			lit, ok := rhs.(*ast.FuncLit)
+			if !ok {
+				return
+			}
+			o := pkg.Info.Defs[id]
+			if o == nil {
+				o = pkg.Info.Uses[id]
+			}
+			if o == nil {
+				return
+			}
+			if _, dup := idx[o]; dup {
+				ambiguous[o] = true
+				return
+			}
+			idx[o] = lit
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.AssignStmt:
+					if len(s.Lhs) == len(s.Rhs) {
+						for i, lhs := range s.Lhs {
+							if id, ok := lhs.(*ast.Ident); ok {
+								bind(id, s.Rhs[i])
+							}
+						}
+					}
+				case *ast.ValueSpec:
+					if len(s.Names) == len(s.Values) {
+						for i, id := range s.Names {
+							bind(id, s.Values[i])
+						}
+					}
+				}
+				return true
+			})
+		}
+		for o := range ambiguous {
+			delete(idx, o)
+		}
+		r.litIndex[pkg] = idx
+	}
+	return idx[obj]
+}
+
+// Callee resolves the function object a call invokes, if any.
+func Callee(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return obj
+		}
+	}
+	return nil
+}
+
+// EffectCallbacks collects the function literals passed to Proc.Effect
+// within body: effect callbacks run at commit/abort time, outside replay,
+// and are exempt from every rule.
+func EffectCallbacks(pkg *Package, body *ast.BlockStmt) map[*ast.FuncLit]bool {
+	exempt := make(map[*ast.FuncLit]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := pkg.Info.Selections[sel]
+		if !ok || s.Kind() != types.MethodVal {
+			return true
+		}
+		obj, _ := s.Obj().(*types.Func)
+		if !IsEngineFunc(obj, "Effect") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if lit, ok := arg.(*ast.FuncLit); ok {
+				exempt[lit] = true
+			}
+		}
+		return true
+	})
+	return exempt
+}

@@ -1,8 +1,9 @@
-// Package obsuse exercises the runtime-package exemption for the
-// observability layer: obs hook methods are runtime-side and write-only
-// from a body's point of view, so calling them is legal even though obs
-// internally reads clocks — while direct nondeterminism in the body is
-// still flagged.
+// Package obsuse exercises the write-only allowlist for the
+// observability layer: obs hook methods (Annotate, Emit, ...) record an
+// observation and return nothing, so calling them is legal even though
+// obs internally reads clocks — while a call that reads observation
+// state back into the body (Metrics, Snapshot, Now, ...) is flagged,
+// and direct nondeterminism in the body is still flagged too.
 package obsuse
 
 import (
@@ -15,11 +16,17 @@ import (
 func Run(o *obs.Observer) error {
 	rt := engine.New(engine.WithObserver(o))
 	return rt.Spawn("p", func(p *engine.Proc) error {
-		// Legal: the walk must not descend into obs internals (which
-		// call time.Now and take locks) — observation cannot feed back
-		// into the body's control flow.
+		// Legal: write-only hooks. The walk must not descend into obs
+		// internals (which call time.Now and take locks) — a recorded
+		// observation cannot feed back into the body's control flow.
 		o.Annotate("p", "phase-1")
-		_ = o.Metrics()
+		o.MsgEnqueued(3)
+
+		// Illegal: reading observation state back into the body. The
+		// snapshot depends on what every other process has done so far,
+		// so the value diverges under replay.
+		_ = o.Metrics()  // want `reads observation state back`
+		_ = o.Snapshot() // want `reads observation state back`
 
 		// Still illegal: the body reading the clock itself diverges
 		// under replay, no matter where the value flows afterwards.

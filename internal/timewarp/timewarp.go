@@ -173,7 +173,10 @@ func Parallel(cfg Config, opts ...engine.Option) (Result, error) {
 		h := &lpHandle{}
 		lpProcs[i] = h
 		if err := rt.Spawn(lpName(i), func(p *engine.Proc) error {
-			h.capture(p)
+			// Publish the handle at commit time, like every other
+			// harness-visible write; capture is idempotent, so the
+			// re-registration a rollback causes is harmless.
+			p.Effect(func() { h.capture(p) }, nil)
 			return lpBody(p, cfg, i, lpName, func(ts int64, seed uint64, attempt int) {
 				mu.Lock()
 				res.Committed[i] = append(res.Committed[i], ts)
@@ -307,8 +310,11 @@ func lpBody(p *engine.Proc, cfg Config, self int, lpName func(int) string,
 				// dependent, transitively — the anti-message cascade).
 				idx := sort.Search(len(processed), func(i int) bool { return processed[i].ts > e.TS })
 				x := processed[idx].x
-				if v, loaded := stragglers.LoadOrStore(self, 1); loaded {
-					stragglers.Store(self, v.(int)+1)
+				// The straggler count must survive the rollback the
+				// following Deny triggers — an Effect registered here
+				// would be aborted by that very rollback.
+				if v, loaded := stragglers.LoadOrStore(self, 1); loaded { //hopevet:ignore escape -- counts the rollback that aborts this interval
+					stragglers.Store(self, v.(int)+1) //hopevet:ignore escape -- counts the rollback that aborts this interval
 				}
 				if err := p.Deny(x); err != nil && !errors.Is(err, engine.ErrConflict) {
 					return err

@@ -1,0 +1,381 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file builds the control-flow graph the dataflow passes run on.
+// The graph is per-function: basic blocks hold the function's statements
+// (plus hoisted init statements and range headers) in evaluation order,
+// and a block that ends in a branch condition exposes the condition
+// expression so a transfer function can refine facts per edge — the
+// specleak pass uses that to model `if p.Guess(x)`: the true edge is the
+// optimistic first run (x unresolved), the false edge is the replay
+// after a denial (x already resolved).
+//
+// Nested function literals are values, not control flow: the builder
+// never descends into them. Statements that cannot complete normally —
+// return, panic, os.Exit, runtime.Goexit — end their block; panicking
+// terminators get no edge to the exit block, so the exit-state checks
+// quantify over non-panicking paths only, exactly the obligation the
+// paper's replay argument needs.
+
+// block is one basic block.
+type block struct {
+	index int
+	nodes []ast.Node // statements / hoisted exprs in evaluation order
+	cond  ast.Expr   // branch condition evaluated after nodes, or nil
+	tsucc *block     // successor on cond == true
+	fsucc *block     // successor on cond == false
+	succs []*block   // all successors (tsucc/fsucc included)
+}
+
+func (b *block) addSucc(s *block) {
+	if s == nil {
+		return
+	}
+	for _, have := range b.succs {
+		if have == s {
+			return
+		}
+	}
+	b.succs = append(b.succs, s)
+}
+
+// graph is the CFG of one function body.
+type graph struct {
+	entry, exit *block
+	blocks      []*block
+}
+
+// loopFrame is one enclosing breakable construct.
+type loopFrame struct {
+	label string
+	brk   *block // break target
+	cont  *block // continue target; nil for switch/select frames
+}
+
+type pendingGoto struct {
+	from  *block
+	label string
+}
+
+type cfgBuilder struct {
+	g        *graph
+	info     *types.Info
+	frames   []loopFrame
+	labels   map[string]*block
+	gotos    []pendingGoto
+	fallNext *block // body block of the next case clause, for fallthrough
+}
+
+// buildCFG constructs the graph for one function body.
+func buildCFG(body *ast.BlockStmt, info *types.Info) *graph {
+	b := &cfgBuilder{
+		g:      &graph{},
+		info:   info,
+		labels: make(map[string]*block),
+	}
+	b.g.exit = b.newBlock() // index 0 by construction; harmless
+	b.g.entry = b.newBlock()
+	end := b.stmts(b.g.entry, body.List, "")
+	if end != nil {
+		end.addSucc(b.g.exit)
+	}
+	for _, pg := range b.gotos {
+		if target, ok := b.labels[pg.label]; ok {
+			pg.from.addSucc(target)
+		} else {
+			pg.from.addSucc(b.g.exit) // unresolvable: be conservative
+		}
+	}
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *block {
+	blk := &block{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+// stmts threads a statement list; a nil return means control cannot fall
+// off the end of the list.
+func (b *cfgBuilder) stmts(cur *block, list []ast.Stmt, label string) *block {
+	for _, s := range list {
+		if cur == nil {
+			cur = b.newBlock() // unreachable continuation
+		}
+		cur = b.stmt(cur, s, label)
+	}
+	return cur
+}
+
+// stmt adds one statement to the graph, returning the block where
+// control continues, or nil when the statement never completes normally.
+func (b *cfgBuilder) stmt(cur *block, s ast.Stmt, label string) *block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(cur, s.List, "")
+
+	case *ast.LabeledStmt:
+		target := b.newBlock()
+		cur.addSucc(target)
+		b.labels[s.Label.Name] = target
+		return b.stmt(target, s.Stmt, s.Label.Name)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		cur.cond = s.Cond
+		tb, fb := b.newBlock(), b.newBlock()
+		cur.tsucc, cur.fsucc = tb, fb
+		cur.addSucc(tb)
+		cur.addSucc(fb)
+		tEnd := b.stmts(tb, s.Body.List, "")
+		if s.Else == nil {
+			if tEnd != nil {
+				tEnd.addSucc(fb)
+			}
+			return fb
+		}
+		eEnd := b.stmt(fb, s.Else, "")
+		if tEnd == nil && eEnd == nil {
+			return nil
+		}
+		after := b.newBlock()
+		if tEnd != nil {
+			tEnd.addSucc(after)
+		}
+		if eEnd != nil {
+			eEnd.addSucc(after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		cond := b.newBlock()
+		cur.addSucc(cond)
+		body, after := b.newBlock(), b.newBlock()
+		if s.Cond != nil {
+			cond.cond = s.Cond
+			cond.tsucc, cond.fsucc = body, after
+			cond.addSucc(body)
+			cond.addSucc(after)
+		} else {
+			cond.addSucc(body)
+		}
+		cont := cond
+		var post *block
+		if s.Post != nil {
+			post = b.newBlock()
+			post.nodes = append(post.nodes, s.Post)
+			post.addSucc(cond)
+			cont = post
+		}
+		b.frames = append(b.frames, loopFrame{label: label, brk: after, cont: cont})
+		bodyEnd := b.stmts(body, s.Body.List, "")
+		b.frames = b.frames[:len(b.frames)-1]
+		if bodyEnd != nil {
+			bodyEnd.addSucc(cont)
+		}
+		return after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		head.nodes = append(head.nodes, s) // X plus key/value bindings
+		cur.addSucc(head)
+		body, after := b.newBlock(), b.newBlock()
+		head.addSucc(body)
+		head.addSucc(after)
+		b.frames = append(b.frames, loopFrame{label: label, brk: after, cont: head})
+		bodyEnd := b.stmts(body, s.Body.List, "")
+		b.frames = b.frames[:len(b.frames)-1]
+		if bodyEnd != nil {
+			bodyEnd.addSucc(head)
+		}
+		return after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		if s.Tag != nil {
+			cur.nodes = append(cur.nodes, &ast.ExprStmt{X: s.Tag})
+		}
+		return b.caseClauses(cur, s.Body.List, label, false)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		cur.nodes = append(cur.nodes, s.Assign)
+		return b.caseClauses(cur, s.Body.List, label, false)
+
+	case *ast.SelectStmt:
+		return b.caseClauses(cur, s.Body.List, label, true)
+
+	case *ast.ReturnStmt:
+		cur.nodes = append(cur.nodes, s)
+		cur.addSucc(b.g.exit)
+		return nil
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if f := b.frame(s.Label, false); f != nil {
+				cur.addSucc(f.brk)
+			}
+			return nil
+		case token.CONTINUE:
+			if f := b.frame(s.Label, true); f != nil {
+				cur.addSucc(f.cont)
+			}
+			return nil
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{from: cur, label: s.Label.Name})
+			return nil
+		case token.FALLTHROUGH:
+			cur.addSucc(b.fallNext)
+			return nil
+		}
+		return cur
+
+	default:
+		// defer/go/send/expr/assign/decl/incdec/empty: straight-line.
+		cur.nodes = append(cur.nodes, s)
+		if b.terminates(s) {
+			return nil // panic-class: no edge to exit
+		}
+		return cur
+	}
+}
+
+// caseClauses wires the clause bodies of a switch, type switch, or
+// select. Every clause body is a successor of cur; a switch without a
+// default also falls through to the join block directly.
+func (b *cfgBuilder) caseClauses(cur *block, clauses []ast.Stmt, label string, isSelect bool) *block {
+	after := b.newBlock()
+	b.frames = append(b.frames, loopFrame{label: label, brk: after})
+	hasDefault := false
+
+	// Create the clause body blocks first so fallthrough can target the
+	// next clause.
+	bodies := make([]*block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	for i, cs := range clauses {
+		blk := bodies[i]
+		cur.addSucc(blk)
+		var stmts []ast.Stmt
+		switch c := cs.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				blk.nodes = append(blk.nodes, &ast.ExprStmt{X: e})
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				blk.nodes = append(blk.nodes, c.Comm)
+			}
+			stmts = c.Body
+		}
+		if i+1 < len(clauses) {
+			b.fallNext = bodies[i+1]
+		} else {
+			b.fallNext = after
+		}
+		end := b.stmts(blk, stmts, "")
+		if end != nil {
+			end.addSucc(after)
+		}
+	}
+	b.fallNext = nil
+	b.frames = b.frames[:len(b.frames)-1]
+	if len(clauses) == 0 && isSelect {
+		return nil // select{} blocks forever
+	}
+	if !hasDefault && !isSelect {
+		cur.addSucc(after)
+	}
+	return after
+}
+
+// frame finds the break/continue target, innermost first, honoring an
+// optional label; needCont restricts the search to loop frames.
+func (b *cfgBuilder) frame(label *ast.Ident, needCont bool) *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needCont && f.cont == nil {
+			continue
+		}
+		if label == nil || f.label == label.Name {
+			return f
+		}
+	}
+	return nil
+}
+
+// terminates reports whether a straight-line statement never completes:
+// a direct call to builtin panic, os.Exit, or runtime.Goexit.
+func (b *cfgBuilder) terminates(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := b.info.Uses[fun].(*types.Builtin); ok && obj.Name() == "panic" {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := b.info.Uses[fun.Sel].(*types.Func); ok && obj.Pkg() != nil {
+			switch obj.Pkg().Path() + "." + obj.Name() {
+			case "os.Exit", "runtime.Goexit":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// distance returns the minimum number of successor hops from `from` to
+// any block satisfying pred, or -1 if unreachable. from itself counts
+// as distance 0 when it satisfies pred.
+func (g *graph) distance(from *block, pred func(*block) bool) int {
+	type qe struct {
+		b *block
+		d int
+	}
+	seen := make([]bool, len(g.blocks))
+	queue := []qe{{from, 0}}
+	seen[from.index] = true
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		if pred(e.b) {
+			return e.d
+		}
+		for _, s := range e.b.succs {
+			if !seen[s.index] {
+				seen[s.index] = true
+				queue = append(queue, qe{s, e.d + 1})
+			}
+		}
+	}
+	return -1
+}

@@ -1,0 +1,74 @@
+package vet
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// The speculation-site inventory is the static half of the adaptive-
+// optimism admission controller sketched in ROADMAP.md: the runtime
+// half (the per-site affirm/deny accuracy estimator) needs a stable
+// identity and static shape for every Guess site, and this is it. Di
+// Pierro & Wiklicky ground speculation-probability estimation in static
+// data-flow analysis; the fields below are the features that analysis
+// starts from — whether the AID is locally minted, whether it can be
+// resolved remotely, how far (in CFG blocks) the nearest local
+// resolution sits, and how deep the tracked speculation stack can be
+// when the site fires.
+
+// Site is one Guess call site.
+type Site struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Package string `json:"package"`
+	Func    string `json:"func"`
+
+	// Arity is the number of AID operands guessed at the site (always 1
+	// with today's Guess signature; kept so a future vector guess does
+	// not change the schema).
+	Arity int `json:"arity"`
+
+	// AIDLocal reports that the AID is minted in the same function via
+	// p.NewAID(); Escapes that the AID value leaves the function, so a
+	// remote resolution is possible.
+	AIDLocal bool `json:"aid_local"`
+	Escapes  bool `json:"escapes"`
+
+	// Resolutions lists the resolution kinds ("affirm", "deny",
+	// "freeof") applied to the same AID variable anywhere in the
+	// function.
+	Resolutions []string `json:"resolutions,omitempty"`
+
+	// ResolveDistanceBlocks is the minimum number of CFG blocks from
+	// the guess to a local Affirm/Deny of the same AID, or -1 when the
+	// function never resolves it locally.
+	ResolveDistanceBlocks int `json:"resolve_distance_blocks"`
+
+	// MaxPendingAtEntry is the largest number of tracked unresolved
+	// guesses that can be live when this site executes — the static
+	// speculation depth.
+	MaxPendingAtEntry int `json:"max_pending_at_entry"`
+}
+
+// Inventory is the JSON document hopevet -inventory emits.
+type Inventory struct {
+	Schema string `json:"schema"` // "hope.siteinventory/v1"
+	Module string `json:"module"`
+	Sites  []Site `json:"sites"`
+}
+
+// InventorySchema identifies the JSON layout; bump on breaking change.
+const InventorySchema = "hope.siteinventory/v1"
+
+// WriteInventory emits the inventory for the given sites as indented
+// JSON.
+func WriteInventory(w io.Writer, module string, sites []Site) error {
+	inv := Inventory{Schema: InventorySchema, Module: module, Sites: sites}
+	if inv.Sites == nil {
+		inv.Sites = []Site{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(inv)
+}

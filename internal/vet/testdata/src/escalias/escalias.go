@@ -1,0 +1,32 @@
+// Package escalias exercises the interprocedural half of the escape
+// rule: a body hands a captured pointer to a helper and the helper does
+// the store. The diagnostic lands on the store inside the helper.
+package escalias
+
+import "hope/internal/engine"
+
+type box struct{ v int }
+
+func fill(b *box, n int) {
+	b.v = n // want `store through a field of captured state \(rooted in "b", which aliases memory declared outside a helper reached from a process body\)`
+}
+
+func (b *box) bump() {
+	b.v++ // want `store through a field of captured state \(rooted in "b"`
+}
+
+func deep(b *box) {
+	fill(b, 3) // descends a second level; the diagnostic stays on fill's store
+}
+
+func Run(rt *engine.Runtime) error {
+	shared := &box{}
+	return rt.Spawn("p", func(p *engine.Proc) error {
+		mine := box{}
+		fill(&mine, 1) // legal: the target is body-local, so the helper's store is too
+		fill(shared, 2)
+		shared.bump()
+		deep(shared)
+		return nil
+	})
+}

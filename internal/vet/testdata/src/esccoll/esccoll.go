@@ -1,0 +1,32 @@
+// Package esccoll exercises the escape rule on slice-element and
+// map-entry stores, mutating builtins, and aliases created by slicing
+// and append.
+package esccoll
+
+import "hope/internal/engine"
+
+func Run(rt *engine.Runtime) error {
+	scores := make(map[string]int)
+	ring := make([]int, 8)
+	return rt.Spawn("p", func(p *engine.Proc) error {
+		ring[0] = 1     // want `store through an element of a captured slice or map \(rooted in "ring"`
+		scores["a"] = 2 // want `store through an element of a captured slice or map \(rooted in "scores"`
+
+		delete(scores, "a")  // want `delete on a captured collection`
+		clear(scores)        // want `clear on a captured collection`
+		copy(ring, []int{9}) // want `copy into a captured slice`
+
+		view := ring[2:4]
+		view[0] = 7 // want `store through an element of a captured slice or map \(rooted in "view"`
+
+		grown := append(ring, 5)
+		grown[0] = 3 // want `store through an element of a captured slice or map \(rooted in "grown"`
+
+		local := make([]int, 4)
+		local[1] = 2 // legal: body-local backing array
+		mine := map[string]int{}
+		mine["k"] = 1 // legal: body-local map
+		delete(mine, "k")
+		return nil
+	})
+}

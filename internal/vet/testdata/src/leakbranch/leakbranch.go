@@ -1,0 +1,27 @@
+// Package leakbranch exercises the path-sensitive half of specleak:
+// a resolution on only one branch leaks on the other, and the false
+// edge of `if p.Guess(x)` — the re-execution after a denial — counts as
+// already resolved, in both the plain and the negated form.
+package leakbranch
+
+import "hope/internal/engine"
+
+func Run(rt *engine.Runtime, flag bool) error {
+	return rt.Spawn("p", func(p *engine.Proc) error {
+		x := p.NewAID()
+		if p.Guess(x) { // want `assumption "x" may reach the end of the body unresolved`
+			if flag {
+				if err := p.Affirm(x); err != nil {
+					return err
+				}
+			}
+			// !flag falls through with x still open on the optimistic run.
+		}
+
+		y := p.NewAID()
+		if !p.Guess(y) {
+			return nil // replay path: y is already resolved here
+		}
+		return p.Affirm(y) // optimistic path resolves before returning
+	})
+}

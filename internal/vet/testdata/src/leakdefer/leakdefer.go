@@ -1,0 +1,31 @@
+// Package leakdefer exercises specleak's deferred-resolution handling:
+// a defer registered before the guess covers every exit; a defer on one
+// branch only, or placed after an early return, does not.
+package leakdefer
+
+import "hope/internal/engine"
+
+func Run(rt *engine.Runtime, flag bool) error {
+	if err := rt.Spawn("ok", func(p *engine.Proc) error {
+		x := p.NewAID()
+		defer p.Affirm(x) // legal: resolves at every exit below
+		p.Guess(x)
+		return nil
+	}); err != nil {
+		return err
+	}
+	return rt.Spawn("leaky", func(p *engine.Proc) error {
+		y := p.NewAID()
+		p.Guess(y) // want `assumption "y" may reach the end of the body unresolved`
+		if flag {
+			defer p.Deny(y) // covers only the flag==true exits
+		}
+
+		z := p.NewAID()
+		if p.Guess(z) { // want `assumption "z" may reach the end of the body unresolved`
+			return nil // the optimistic exit happens before the defer exists
+		}
+		defer p.Affirm(z) // registered only on the replay path
+		return nil
+	})
+}

@@ -1,0 +1,25 @@
+// Package leakdrop exercises the specleak rule's simplest shapes: a
+// guess that nothing ever resolves, and a guessed AID that is never
+// even bound to a variable.
+package leakdrop
+
+import "hope/internal/engine"
+
+func Run(rt *engine.Runtime) error {
+	return rt.Spawn("p", func(p *engine.Proc) error {
+		x := p.NewAID()
+		p.Guess(x) // want `assumption "x" may reach the end of the body unresolved`
+
+		p.Guess(p.NewAID()) // want `guessed assumption is discarded`
+
+		y := p.NewAID()
+		if p.Guess(y) {
+			// Optimistic run: resolve before returning.
+			if err := p.Affirm(y); err != nil {
+				return err
+			}
+		}
+		// Replay after a denial reaches here with y already resolved.
+		return nil
+	})
+}

@@ -1,0 +1,25 @@
+// Package leakescape pins specleak's escape discipline: an AID whose
+// value leaves the function — sent to another process, or aliased into
+// a structure — may be resolved remotely, so the pass stays silent
+// about it. No diagnostics are expected in this file.
+package leakescape
+
+import "hope/internal/engine"
+
+func Run(rt *engine.Runtime) error {
+	return rt.Spawn("p", func(p *engine.Proc) error {
+		x := p.NewAID()
+		if p.Guess(x) {
+			// A validator process owns the outcome now.
+			if err := p.Send("validator", x); err != nil {
+				return err
+			}
+		}
+
+		y := p.NewAID()
+		aids := []engine.AID{y} // aliased: anything holding the slice can forward it
+		p.Guess(y)
+		_ = aids
+		return nil
+	})
+}

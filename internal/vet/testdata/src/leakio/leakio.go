@@ -1,0 +1,32 @@
+// Package leakio exercises the speculative-I/O half of specleak:
+// irrevocable output issued while an assumption is unresolved is
+// flagged; the same output before the guess or after the resolution is
+// hopelint's plain rawio complaint, not ours.
+package leakio
+
+import (
+	"fmt"
+	"os"
+
+	"hope/internal/engine"
+)
+
+func Run(rt *engine.Runtime) error {
+	return rt.Spawn("p", func(p *engine.Proc) error {
+		fmt.Println("starting") // not flagged by this pass: nothing is pending yet
+
+		x := p.NewAID()
+		if !p.Guess(x) {
+			return nil // replay path: resolved
+		}
+		fmt.Println("optimistic") // want `irrevocable I/O while assumption\(s\) "x" are unresolved`
+		// Returning the write's error here would itself leak x: the
+		// error path exits the body before the Affirm below.
+		_ = os.WriteFile("out.txt", nil, 0o644) // want `irrevocable I/O while assumption\(s\) "x" are unresolved`
+		if err := p.Affirm(x); err != nil {
+			return err
+		}
+		fmt.Println("settled") // not flagged by this pass: the window is closed
+		return nil
+	})
+}

@@ -1,0 +1,25 @@
+// Package vetignore exercises the //hopevet:ignore escape hatch: a
+// matching directive on the finding's line or the line above suppresses
+// it, a directive naming a different rule does not, and a bare
+// directive suppresses every rule on its line.
+package vetignore
+
+import "hope/internal/engine"
+
+type box struct{ n int }
+
+func Run(rt *engine.Runtime) error {
+	shared := &box{}
+	return rt.Spawn("p", func(p *engine.Proc) error {
+		shared.n = 1 //hopevet:ignore escape -- fixture: sanctioned write
+
+		//hopevet:ignore escape -- fixture: line-above placement
+		shared.n = 2
+
+		shared.n = 3 //hopevet:ignore specleak -- wrong rule; escape still fires // want `store through a field of captured state`
+
+		x := p.NewAID()
+		p.Guess(x) //hopevet:ignore -- bare directive suppresses every rule
+		return nil
+	})
+}

@@ -1,0 +1,204 @@
+// Package vet is hopelint's second-generation, flow-sensitive sibling:
+// dataflow analyzers over per-function control-flow graphs that close
+// the holes the syntactic linter documents and extract the static
+// artifact the adaptive-optimism work needs. It shares hopelint's
+// loader, body discovery, and suppression machinery (internal/lint's
+// Resolver), so both tools agree on what a process body is; everything
+// here is stdlib go/ast + go/types — the CFG construction and the
+// abstract interpretation are in-tree (cfg.go), playing the role
+// golang.org/x/tools's go/ssa + buildssa would in an analysis-framework
+// port.
+//
+// Three passes run over every process body and its transitive helpers:
+//
+//   - escape: interprocedural may-alias dataflow that flags stores
+//     reaching memory declared outside the body — writes through
+//     captured pointers, fields of captured structs, slice elements and
+//     map entries of captured collections, sync/atomic mutators on
+//     captured state, and the same classes reached through helper-call
+//     arguments. This is the class internal/lint/capture.go
+//     deliberately leaves to us: hopelint flags `x = v` on a captured
+//     x; escape flags `*p = v`, `x.f = v`, `s[i] = v`, `m[k] = v`, and
+//     `helper(p)` where helper stores through p.
+//
+//   - specleak: a path-sensitive check over the CFG that every Guess of
+//     a locally minted, non-escaping AID reaches an Affirm or Deny on
+//     all non-panicking paths before the body returns. An AID that
+//     never leaves the body can only be resolved by the body itself; a
+//     path that drops it leaks an unresolved speculation that pins the
+//     tracker forever. The transfer function understands the Guess
+//     idiom: on `if p.Guess(x)` the false edge is the re-execution
+//     after a denial, where x is already resolved.
+//
+//   - siteinventory: every speculation site, with its position,
+//     enclosing function, whether the AID is locally minted and whether
+//     it escapes, the local resolution kinds, the CFG distance from
+//     guess to nearest resolution, and the maximum tracked speculation
+//     depth live at the site — exported as JSON (inventory.go), the
+//     static half of the planned per-site admission controller.
+//
+// Soundness stance: escape and specleak are may-analyses tuned to make
+// a clean run meaningful rather than to prove absence of all bugs; the
+// known false-negative classes (aliases smuggled through struct-valued
+// copies, pointers received in message payloads, calls through
+// function-typed variables, stores inside callback literals handed to
+// helpers) are documented in DESIGN.md's "Static analysis" section.
+//
+// A diagnostic can be suppressed with a comment on its line or the line
+// above, mirroring hopelint:
+//
+//	//hopevet:ignore specleak -- chain-depth harness; leak is the workload
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"hope/internal/lint"
+)
+
+// Rule names.
+const (
+	RuleEscape   = "escape"
+	RuleSpecLeak = "specleak"
+)
+
+// IgnoreDirective is the comment prefix of hopevet's escape hatch.
+const IgnoreDirective = "//hopevet:ignore"
+
+// Result is one package's analysis output: the diagnostics plus the
+// speculation-site inventory rooted in it.
+type Result struct {
+	Diags []lint.Diagnostic
+	Sites []Site
+}
+
+// analyzer carries the state of one Analyze call.
+type analyzer struct {
+	resolver *lint.Resolver
+	fset     *token.FileSet
+
+	specVisited   map[token.Pos]bool
+	escapeVisited map[escapeKey]bool
+
+	reported map[reportKey]bool
+	diags    []lint.Diagnostic
+	sites    []Site
+}
+
+type reportKey struct {
+	pos  token.Pos
+	rule string
+}
+
+type escapeKey struct {
+	fn   token.Pos
+	mask string
+}
+
+func (a *analyzer) errorf(pos token.Pos, rule, msg string) {
+	k := reportKey{pos, rule}
+	if a.reported[k] {
+		return
+	}
+	a.reported[k] = true
+	a.diags = append(a.diags, lint.Diagnostic{
+		Pos:     a.fset.Position(pos),
+		Rule:    rule,
+		Message: msg,
+	})
+}
+
+// Analyze runs the escape and specleak passes over every process body
+// rooted in pkg and returns the diagnostics (sorted, suppression
+// applied) and the speculation-site inventory. Diagnostics may point
+// into other packages of the module when a body calls helpers there.
+func Analyze(l *lint.Loader, pkg *lint.Package) (*Result, error) {
+	a := &analyzer{
+		resolver:      lint.NewResolver(l),
+		fset:          l.Fset,
+		specVisited:   make(map[token.Pos]bool),
+		escapeVisited: make(map[escapeKey]bool),
+		reported:      make(map[reportKey]bool),
+	}
+	if !lint.IsRuntimePackage(pkg.Path) && pkg.Path != "hope/internal/obs" {
+		for _, root := range a.resolver.Roots(pkg) {
+			a.specFunc(root.Pkg, root.Fn)
+			a.escapeFunc(root.Pkg, root.Fn, nil, false)
+		}
+	}
+	diags := lint.Suppress(IgnoreDirective, l.Fset, a.resolver.Analyzed(), a.diags)
+	lint.SortDiagnostics(diags)
+	sort.Slice(a.sites, func(i, j int) bool {
+		x, y := a.sites[i], a.sites[j]
+		if x.File != y.File {
+			return x.File < y.File
+		}
+		if x.Line != y.Line {
+			return x.Line < y.Line
+		}
+		return x.Col < y.Col
+	})
+	return &Result{Diags: diags, Sites: a.sites}, nil
+}
+
+// engineCallee returns the engine method a call invokes (Guess, Affirm,
+// Deny, FreeOf, NewAID, Send, Effect, ...), or "" if the call is not an
+// engine method.
+func engineCallee(pkg *lint.Package, call *ast.CallExpr) (string, *types.Func) {
+	callee := lint.Callee(pkg, call)
+	if callee == nil {
+		return "", nil
+	}
+	for _, name := range [...]string{
+		"Guess", "Affirm", "Deny", "FreeOf", "Outcome", "NewAID",
+		"Send", "SendRetry", "Effect", "Printf",
+		"Recv", "RecvMatch", "RecvTimeout", "RecvSettled",
+	} {
+		if lint.IsEngineFunc(callee, name) {
+			return name, callee
+		}
+	}
+	return "", callee
+}
+
+// enclosingFuncName names the function declaration whose range contains
+// pos, for the site inventory; a body literal at package scope reports
+// the file position instead.
+func enclosingFuncName(pkg *lint.Package, pos token.Pos) string {
+	for _, f := range pkg.Files {
+		if pos < f.Pos() || pos > f.End() {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || pos < fd.Pos() || pos > fd.End() {
+				continue
+			}
+			name := fd.Name.Name
+			if fd.Recv != nil && len(fd.Recv.List) == 1 {
+				if t := fd.Recv.List[0].Type; t != nil {
+					name = typeName(t) + "." + name
+				}
+			}
+			return name
+		}
+	}
+	return "<package-level>"
+}
+
+func typeName(t ast.Expr) string {
+	switch t := t.(type) {
+	case *ast.StarExpr:
+		return typeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return typeName(t.X)
+	case *ast.IndexListExpr:
+		return typeName(t.X)
+	}
+	return "?"
+}

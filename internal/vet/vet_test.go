@@ -1,0 +1,294 @@
+package vet
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+
+	"hope/internal/lint"
+)
+
+// Golden-file tests, sharing hopelint's convention: each fixture
+// package under testdata/src marks its expected diagnostics with
+// trailing comments of the form
+//
+//	expr // want `regexp` `another regexp`
+//
+// Every diagnostic must match an unconsumed want on its line, and every
+// want must be matched by exactly one diagnostic.
+
+var sharedLoader = sync.OnceValues(func() (*lint.Loader, error) {
+	return lint.NewLoader("testdata")
+})
+
+var (
+	wantRE    = regexp.MustCompile("//\\s*want\\s+(.*)$")
+	wantArgRE = regexp.MustCompile("`([^`]+)`")
+)
+
+func loadFixture(t *testing.T, dir string) (*lint.Loader, *lint.Package, *Result) {
+	t.Helper()
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(loader, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loader, pkg, res
+}
+
+func runFixture(t *testing.T, name string) *Result {
+	t.Helper()
+	loader, pkg, res := loadFixture(t, filepath.Join("testdata", "src", name))
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	consumed := make(map[key][]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := loader.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				args := wantArgRE.FindAllStringSubmatch(m[1], -1)
+				if len(args) == 0 {
+					t.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+					continue
+				}
+				for _, arg := range args {
+					re, err := regexp.Compile(arg[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern: %v", pos.Filename, pos.Line, err)
+					}
+					wants[k] = append(wants[k], re)
+					consumed[k] = append(consumed[k], false)
+				}
+			}
+		}
+	}
+
+	for _, d := range res.Diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if !consumed[k][i] && re.MatchString(d.Message) {
+				consumed[k][i] = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			if !consumed[k][i] {
+				t.Errorf("%s:%d: no diagnostic matched %q", k.file, k.line, re)
+			}
+		}
+	}
+	return res
+}
+
+// Escape fixtures.
+func TestEscapePointerAndFieldStores(t *testing.T) { runFixture(t, "escptr") }
+func TestEscapeCollections(t *testing.T)           { runFixture(t, "esccoll") }
+func TestEscapeAliasedArgs(t *testing.T)           { runFixture(t, "escalias") }
+func TestEscapeSyncAtomicAndSends(t *testing.T)    { runFixture(t, "escsync") }
+func TestEscapeCallbacksExempt(t *testing.T)       { runFixture(t, "esccb") }
+
+// Specleak fixtures.
+func TestSpecLeakDroppedGuess(t *testing.T) { runFixture(t, "leakdrop") }
+func TestSpecLeakBranchOnly(t *testing.T)   { runFixture(t, "leakbranch") }
+func TestSpecLeakDefer(t *testing.T)        { runFixture(t, "leakdefer") }
+func TestSpecLeakEscapedAID(t *testing.T)   { runFixture(t, "leakescape") }
+func TestSpeculativeIO(t *testing.T)        { runFixture(t, "leakio") }
+func TestIgnoreDirective(t *testing.T)      { runFixture(t, "vetignore") }
+
+// TestDifferentialCaptureSuperset runs both tools over hopelint's own
+// capture fixture and asserts every hopelint capture diagnostic has an
+// escape diagnostic on the same line: the flow-sensitive pass subsumes
+// the syntactic one on their shared ground.
+func TestDifferentialCaptureSuperset(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("..", "lint", "testdata", "src", "capture")
+	pkg, err := loader.LoadDir(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lintDiags, err := lint.Analyze(loader, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(loader, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vetLines := make(map[string]bool)
+	for _, d := range res.Diags {
+		if d.Rule == RuleEscape {
+			vetLines[d.Pos.Filename+":"+strconv.Itoa(d.Pos.Line)] = true
+		}
+	}
+	captures := 0
+	for _, d := range lintDiags {
+		if d.Rule != lint.RuleCapture {
+			continue
+		}
+		captures++
+		if !vetLines[d.Pos.Filename+":"+strconv.Itoa(d.Pos.Line)] {
+			t.Errorf("hopelint capture diagnostic at %s:%d has no matching escape diagnostic", d.Pos.Filename, d.Pos.Line)
+		}
+	}
+	if captures == 0 {
+		t.Fatal("capture fixture produced no hopelint capture diagnostics; differential test is vacuous")
+	}
+}
+
+// TestDifferentialPointerWriteMissedByLint proves the hole the escape
+// pass exists to close: on the escptr fixture hopelint reports nothing
+// while the escape pass flags the aliased stores.
+func TestDifferentialPointerWriteMissedByLint(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "src", "escptr")
+	pkg, err := loader.LoadDir(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lintDiags, err := lint.Analyze(loader, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range lintDiags {
+		t.Errorf("hopelint unexpectedly flags the aliased store fixture: %s", d)
+	}
+	res, err := Analyze(loader, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	escapes := 0
+	for _, d := range res.Diags {
+		if d.Rule == RuleEscape {
+			escapes++
+		}
+	}
+	if escapes == 0 {
+		t.Fatal("escape pass found nothing in escptr; the differential claim does not hold")
+	}
+}
+
+// TestObsAllowlistIsWriteOnly pins the contract behind hopelint's
+// narrowed obs exemption: every allowlisted hook must exist on some obs
+// type and return nothing, so a body calling it cannot read observation
+// state back into the computation.
+func TestObsAllowlistIsWriteOnly(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("..", "obs"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := make(map[string]bool)
+	scope := pkg.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		ms := types.NewMethodSet(types.NewPointer(tn.Type()))
+		for i := 0; i < ms.Len(); i++ {
+			fn, ok := ms.At(i).Obj().(*types.Func)
+			if !ok || !lint.WriteOnlyObsHooks[fn.Name()] {
+				continue
+			}
+			found[fn.Name()] = true
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Results().Len() != 0 {
+				t.Errorf("obs.%s.%s is allowlisted as write-only but returns %d value(s)",
+					name, fn.Name(), sig.Results().Len())
+			}
+		}
+	}
+	for name := range lint.WriteOnlyObsHooks {
+		if !found[name] {
+			t.Errorf("allowlisted hook %q not found on any obs type", name)
+		}
+	}
+}
+
+// TestSiteInventory checks the static features recorded for each guess
+// shape in the leakdrop fixture: a tracked leak, an anonymous discard,
+// and a properly resolved guess.
+func TestSiteInventory(t *testing.T) {
+	_, _, res := loadFixture(t, filepath.Join("testdata", "src", "leakdrop"))
+	if len(res.Sites) != 3 {
+		t.Fatalf("got %d sites, want 3: %+v", len(res.Sites), res.Sites)
+	}
+	x, anon, y := res.Sites[0], res.Sites[1], res.Sites[2]
+
+	if !x.AIDLocal || x.Escapes {
+		t.Errorf("site x: AIDLocal=%v Escapes=%v, want local non-escaping", x.AIDLocal, x.Escapes)
+	}
+	if x.ResolveDistanceBlocks != -1 || len(x.Resolutions) != 0 {
+		t.Errorf("site x: distance=%d resolutions=%v, want -1 and none", x.ResolveDistanceBlocks, x.Resolutions)
+	}
+	if !anon.AIDLocal || anon.ResolveDistanceBlocks != -1 {
+		t.Errorf("anonymous site: AIDLocal=%v distance=%d, want local and -1", anon.AIDLocal, anon.ResolveDistanceBlocks)
+	}
+	if !y.AIDLocal || y.Escapes {
+		t.Errorf("site y: AIDLocal=%v Escapes=%v, want local non-escaping", y.AIDLocal, y.Escapes)
+	}
+	if y.ResolveDistanceBlocks < 0 {
+		t.Errorf("site y: distance=%d, want >= 0 (affirm is reachable)", y.ResolveDistanceBlocks)
+	}
+	if len(y.Resolutions) != 1 || y.Resolutions[0] != "affirm" {
+		t.Errorf("site y: resolutions=%v, want [affirm]", y.Resolutions)
+	}
+	for _, s := range res.Sites {
+		if s.Package == "" || s.Func == "" || s.Arity != 1 {
+			t.Errorf("site missing identity fields: %+v", s)
+		}
+	}
+}
+
+func TestWriteInventory(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteInventory(&buf, "hope", nil); err != nil {
+		t.Fatal(err)
+	}
+	var inv Inventory
+	if err := json.Unmarshal(buf.Bytes(), &inv); err != nil {
+		t.Fatalf("inventory is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if inv.Schema != InventorySchema || inv.Module != "hope" {
+		t.Errorf("header = %q/%q, want %q/hope", inv.Schema, inv.Module, InventorySchema)
+	}
+	if inv.Sites == nil {
+		t.Error("sites should marshal as an empty array, not null")
+	}
+}

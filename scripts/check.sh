@@ -1,7 +1,8 @@
 #!/bin/sh
 # check.sh — the full verification tier, in dependency order:
-# compile, vet, contract-lint every process body, then the race-enabled
-# test suite. Run from anywhere; it cds to the repo root.
+# compile, vet, contract-lint every process body, dataflow-analyze the
+# bodies with hopevet, then the race-enabled test suite. Run from
+# anywhere; it cds to the repo root.
 #
 #   ./scripts/check.sh
 #
@@ -18,6 +19,9 @@ go vet ./...
 
 echo "== hopelint ./..."
 go run ./cmd/hopelint ./...
+
+echo "== hopevet ./..."
+go run ./cmd/hopevet ./...
 
 echo "== go test -race ./..."
 go test -race ./...
