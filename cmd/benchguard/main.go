@@ -1,0 +1,298 @@
+// Command benchguard compares a fresh hopebench -json report against a
+// committed baseline (BENCH_runtime.json at the repo root) and fails if
+// any headline benchmark regressed by more than a threshold.
+//
+//	benchguard -baseline BENCH_runtime.json -current fresh.json
+//	benchguard -threshold 25 -out benchguard-report.json ...
+//
+// The headline set is the small list of metrics the roadmap tracks —
+// the epoch-cache speedup (E11), the sharded-tracker scaling ratio
+// (E11b), and the deterministic §3.1 virtual-time throughput (E2) —
+// extracted by name from the rendered experiment tables. Ratios rather
+// than raw throughputs wherever the measurement is wall-clock: machine
+// speed cancels in a ratio, and each metric carries its own threshold
+// sized to its noise floor.
+// Metrics absent from the baseline (e.g. a table added after the
+// baseline was recorded) are reported as "new" and never fail the run;
+// metrics absent from the current report do fail it, since losing a
+// headline table silently is itself a regression.
+//
+// Exit status: 0 when every headline metric is within threshold, 1 on
+// any regression past it (or a metric missing from the current report),
+// 2 on usage or parse errors. CI runs this as a non-blocking warn step:
+// shared runners are noisy, so a red benchguard is a prompt to re-run
+// and investigate, not an automatic veto.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// report mirrors the subset of hopebench's -json document benchguard
+// reads.
+type report struct {
+	Tool        string `json:"tool"`
+	RecordedAt  string `json:"recorded_at"`
+	Experiments []struct {
+		ID     string `json:"id"`
+		Output string `json:"output"`
+	} `json:"experiments"`
+}
+
+// metric names one headline cell of one rendered experiment table.
+type metric struct {
+	Name  string            // stable identifier, reported and recorded
+	Exp   string            // experiment ID the table lives under
+	Table string            // substring of the table title
+	Match map[string]string // column -> exact cell value selecting the row
+	Col   string            // column whose value is the metric
+	// HigherIsBetter: true for throughputs, false for durations.
+	HigherIsBetter bool
+	// ThresholdPct overrides the global -threshold for this metric.
+	// Absolute wall-clock throughputs swing ~2x run to run on shared
+	// machines, so the guarded set prefers *ratios* (cached/fresh,
+	// N-shard/1-shard — common-mode machine speed cancels) with wide
+	// thresholds that still catch structural breakage (a dead cache or
+	// disabled sharding collapses a ratio to ~1x, an 80–90% drop), and
+	// deterministic virtual-time metrics with tight ones.
+	ThresholdPct float64
+}
+
+// headline is the guarded set. Keep it short and stable: every entry is
+// a number the roadmap makes a claim about.
+var headline = []metric{
+	// Virtual-time simulation: deterministic, any drift is real.
+	{Name: "e2.streamed_pkts_30ms", Exp: "E2", Table: "",
+		Match: map[string]string{"RTT": "30ms"}, Col: "streamed pkts/s",
+		HigherIsBetter: true, ThresholdPct: 5},
+	// Epoch cache vs fresh walk at fanout 64. Breakage → ~1x.
+	{Name: "e11.cached_speedup_p64", Exp: "E11", Table: "E11:",
+		Match: map[string]string{"procs": "64"}, Col: "speedup",
+		HigherIsBetter: true, ThresholdPct: 40},
+	// 64-shard vs 1-shard scaling under a resolution stream. The
+	// 10k-proc row, not 100k: the 100k sweep is GC-dominated and
+	// noisier; it stays in the table for the scaling record.
+	{Name: "e11b.shard_scaling_10k", Exp: "E11", Table: "E11b:",
+		Match: map[string]string{"procs": "10000", "shards": "64"}, Col: "vs 1 shard",
+		HigherIsBetter: true, ThresholdPct: 60},
+}
+
+// table is one parsed markdown table from an experiment's rendered
+// output.
+type table struct {
+	title string
+	cols  []string
+	rows  [][]string
+}
+
+// parseTables extracts the markdown tables from a rendered experiment
+// output: a "### " line titles the table that follows; "|"-rows are
+// header, separator, then data.
+func parseTables(out string) []table {
+	var tables []table
+	var cur *table
+	title := ""
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "### "):
+			title = strings.TrimPrefix(line, "### ")
+			cur = nil
+		case strings.HasPrefix(line, "|"):
+			cells := splitRow(line)
+			if isSeparator(cells) {
+				continue
+			}
+			if cur == nil {
+				tables = append(tables, table{title: title, cols: cells})
+				cur = &tables[len(tables)-1]
+			} else {
+				cur.rows = append(cur.rows, cells)
+			}
+		default:
+			cur = nil
+		}
+	}
+	return tables
+}
+
+func splitRow(line string) []string {
+	parts := strings.Split(strings.Trim(line, "|"), "|")
+	cells := make([]string, len(parts))
+	for i, p := range parts {
+		cells[i] = strings.TrimSpace(p)
+	}
+	return cells
+}
+
+func isSeparator(cells []string) bool {
+	for _, c := range cells {
+		if strings.Trim(c, "-: ") != "" {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup finds m's cell in rep and parses it as a number.
+func lookup(rep *report, m metric) (float64, bool) {
+	for _, e := range rep.Experiments {
+		if e.ID != m.Exp {
+			continue
+		}
+		for _, t := range parseTables(e.Output) {
+			if m.Table != "" && !strings.Contains(t.title, m.Table) {
+				continue
+			}
+			col := indexOf(t.cols, m.Col)
+			if col < 0 {
+				continue
+			}
+		row:
+			for _, row := range t.rows {
+				for name, want := range m.Match {
+					i := indexOf(t.cols, name)
+					if i < 0 || i >= len(row) || row[i] != want {
+						continue row
+					}
+				}
+				if col < len(row) {
+					if v, err := parseNum(row[col]); err == nil {
+						return v, true
+					}
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+func indexOf(cols []string, name string) int {
+	for i, c := range cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// parseNum handles the table cell formats hopebench renders: plain
+// floats, thousands separators ("122,699"), and ratio/duration suffixes
+// ("9.2x", "115.35ms").
+func parseNum(s string) (float64, error) {
+	s = strings.ReplaceAll(s, ",", "")
+	s = strings.TrimSuffix(s, "x")
+	s = strings.TrimSuffix(s, "ms")
+	s = strings.TrimSuffix(s, "s")
+	return strconv.ParseFloat(strings.TrimSpace(s), 64)
+}
+
+// outcome is one metric's comparison, recorded in the -out artifact.
+type outcome struct {
+	Name      string  `json:"name"`
+	Baseline  float64 `json:"baseline,omitempty"`
+	Current   float64 `json:"current,omitempty"`
+	DeltaPct  float64 `json:"delta_pct"`
+	Status    string  `json:"status"` // ok | regression | new | missing
+	Threshold float64 `json:"threshold_pct"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_runtime.json", "committed baseline report")
+	currentPath := flag.String("current", "", "fresh hopebench -json report (required)")
+	threshold := flag.Float64("threshold", 25, "max tolerated regression, percent")
+	outPath := flag.String("out", "", "write the comparison as JSON to this file")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -current is required")
+		os.Exit(2)
+	}
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	var outcomes []outcome
+	fmt.Printf("benchguard: baseline %s (recorded %s) vs %s\n",
+		*baselinePath, base.RecordedAt, *currentPath)
+	for _, m := range headline {
+		limit := *threshold
+		if m.ThresholdPct > 0 {
+			limit = m.ThresholdPct
+		}
+		o := outcome{Name: m.Name, Threshold: limit}
+		bv, bok := lookup(base, m)
+		cv, cok := lookup(cur, m)
+		o.Baseline, o.Current = bv, cv
+		switch {
+		case !cok:
+			o.Status = "missing"
+			failed = true
+		case !bok:
+			o.Status = "new"
+		default:
+			// Regression percent, positive = worse, regardless of the
+			// metric's direction.
+			if m.HigherIsBetter {
+				o.DeltaPct = (bv - cv) / bv * 100
+			} else {
+				o.DeltaPct = (cv - bv) / bv * 100
+			}
+			if o.DeltaPct > limit {
+				o.Status = "regression"
+				failed = true
+			} else {
+				o.Status = "ok"
+			}
+		}
+		outcomes = append(outcomes, o)
+		fmt.Printf("  %-28s %-10s baseline=%.2f current=%.2f worse by %.1f%%\n",
+			o.Name, o.Status, o.Baseline, o.Current, o.DeltaPct)
+	}
+
+	if *outPath != "" {
+		doc, _ := json.MarshalIndent(struct {
+			Baseline string    `json:"baseline"`
+			Current  string    `json:"current"`
+			Passed   bool      `json:"passed"`
+			Metrics  []outcome `json:"metrics"`
+		}{*baselinePath, *currentPath, !failed, outcomes}, "", "  ")
+		if err := os.WriteFile(*outPath, append(doc, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if failed {
+		fmt.Println("benchguard: FAIL — headline regression past threshold")
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: ok")
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Experiments) == 0 {
+		return nil, fmt.Errorf("%s: no experiments in report", path)
+	}
+	return &r, nil
+}

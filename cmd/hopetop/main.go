@@ -8,6 +8,7 @@
 //	hopetop -w callstreaming -trace trace.json   # Perfetto timeline
 //	hopetop -w fanout -json obs.json             # machine-readable snapshot
 //	hopetop -exp E12                             # run an experiment by ID
+//	hopetop -w storm -shards                     # per-shard tracker table
 //	hopetop -list                                # what can run
 //
 // Chaos mode arms deterministic fault injection — crashes, drops,
@@ -27,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"hope/internal/engine"
@@ -46,6 +48,7 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace-event file (load in Perfetto)")
 		jsonOut  = flag.String("json", "", "write the observer snapshot as JSON")
 		showEv   = flag.Bool("dump-events", false, "print the recorded event stream")
+		showSh   = flag.Bool("shards", false, "print the per-shard tracker table (assumptions, epoch, heap)")
 		list     = flag.Bool("list", false, "list workloads and experiments")
 		faultStr = flag.String("faults", "", "chaos mode: fault spec, e.g. seed=7,crash=0.02,drop=0.1,dup=0.05,delay=0.2,stall=0.1")
 	)
@@ -131,6 +134,10 @@ func main() {
 			plan, plan.Total(),
 			c[fault.Crash], c[fault.Drop], c[fault.Dup], c[fault.Delay], c[fault.Stall])
 	}
+	if *showSh {
+		fmt.Println()
+		fmt.Print(shardTable(o))
+	}
 	if *showEv {
 		fmt.Println()
 		fmt.Print(o.DumpEvents())
@@ -148,6 +155,39 @@ func main() {
 		}
 		fmt.Printf("\ntrace written to %s (open in https://ui.perfetto.dev)\n", *traceOut)
 	}
+}
+
+// shardTable renders the tracker's per-shard occupancy: live
+// assumptions, resolution-epoch position (how many settles landed
+// there), and peak delivery-heap depth for the shard's scheduler. An
+// even assumptions column means the AID hash is spreading load; one hot
+// epoch column means resolutions are concentrating on a shard.
+func shardTable(o *obs.Observer) string {
+	m := o.Snapshot().Metrics
+	n := len(m.ShardAssumptions)
+	if len(m.ShardEpochs) > n {
+		n = len(m.ShardEpochs)
+	}
+	if len(m.ShardHeapDepth) > n {
+		n = len(m.ShardHeapDepth)
+	}
+	if n == 0 {
+		return "shards: no per-shard activity recorded\n"
+	}
+	at := func(s []int64, i int) int64 {
+		if i < len(s) {
+			return s[i]
+		}
+		return 0
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "shards (%d, escalations=%d):\n", n, m.ShardContention)
+	fmt.Fprintf(&b, "  %5s %12s %10s %9s\n", "shard", "assumptions", "epoch", "heap-max")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "  %5d %12d %10d %9d\n",
+			i, at(m.ShardAssumptions, i), at(m.ShardEpochs, i), at(m.ShardHeapDepth, i))
+	}
+	return b.String()
 }
 
 func writeFile(path string, write func(w io.Writer) error) error {

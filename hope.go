@@ -162,6 +162,13 @@ func WithLatency(f func(from, to string) time.Duration) Option {
 	return engine.WithLatency(f)
 }
 
+// WithShards sets the shard count of the dependency tracker and the
+// delivery-scheduler pool. The default (n <= 0) is the next power of
+// two >= GOMAXPROCS; values round up to a power of two and cap at 64.
+// Shard count changes scaling, never behavior: one shard reproduces the
+// single-lock configuration verdict-for-verdict.
+func WithShards(n int) Option { return engine.WithShards(n) }
+
 // Observer is a runtime observability sink: metrics plus a ring-buffered
 // speculation-lifecycle event stream. See internal/obs.
 type Observer = obs.Observer

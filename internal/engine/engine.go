@@ -91,6 +91,15 @@ func WithLatency(f LatencyFunc) Option { return func(r *Runtime) { r.latency = f
 // perturb piecewise-deterministic replay.
 func WithObserver(o *obs.Observer) Option { return func(r *Runtime) { r.obs = o } }
 
+// WithShards sets the shard count of the dependency tracker and the
+// delivery-scheduler pool. Values are rounded up to a power of two and
+// clamped to [1, tracker.MaxShards]; n <= 0 (the default) selects
+// tracker.DefaultShards — the next power of two >= GOMAXPROCS. One
+// shard reproduces the old single-lock, single-scheduler configuration;
+// the differential tests pin it to check that shard count never changes
+// observable behavior.
+func WithShards(n int) Option { return func(r *Runtime) { r.shardCfg = n } }
+
 // WithFaults attaches a deterministic fault-injection plan
 // (internal/fault): processes crash and restart by replay, messages are
 // dropped (surfacing to senders as ErrDelivery), duplicated (suppressed
@@ -120,7 +129,15 @@ type Runtime struct {
 	// process on every resolution (guarded by mu).
 	settledWaiters map[*Proc]struct{}
 
-	sched sched
+	// scheds is the delivery-scheduler pool: one scheduler (goroutine +
+	// due-time min-heap) per shard, selected by sender-name hash. A
+	// link's deliveries all hash to the sender's scheduler, so per-link
+	// FIFO needs no cross-scheduler coordination. shardCfg is the
+	// WithShards request (0 = default); the pool size always equals the
+	// tracker's shard count.
+	scheds    []*sched
+	schedMask uint64
+	shardCfg  int
 
 	seq atomic.Uint64
 }
@@ -131,17 +148,25 @@ type linkKey struct{ from, to string }
 // New creates an empty runtime.
 func New(opts ...Option) *Runtime {
 	r := &Runtime{
-		tr:             tracker.New(),
 		out:            os.Stdout,
 		procs:          make(map[string]*Proc),
 		byID:           make(map[ids.Proc]*Proc),
 		settledWaiters: make(map[*Proc]struct{}),
 	}
 	r.cond = sync.NewCond(&r.mu)
-	r.sched.init()
 	for _, o := range opts {
 		o(r)
 	}
+	// Options are applied before the tracker exists so WithShards can
+	// size it; the scheduler pool mirrors the tracker's shard count.
+	r.tr = tracker.New(tracker.WithShards(r.shardCfg))
+	r.scheds = make([]*sched, r.tr.Shards())
+	for i := range r.scheds {
+		s := &sched{idx: i}
+		s.init()
+		r.scheds[i] = s
+	}
+	r.schedMask = uint64(len(r.scheds) - 1)
 	r.tr.SetObserver(r.obs)
 	if r.faults != nil {
 		// Resolution stalls run in the resolving process's goroutine,
@@ -200,6 +225,12 @@ func (r *Runtime) removeSettledWaiter(p *Proc) {
 
 // TrackerStats returns the dependency tracker's activity counters.
 func (r *Runtime) TrackerStats() tracker.Stats { return r.tr.Stats() }
+
+// Shards reports the tracker/scheduler shard count in effect.
+func (r *Runtime) Shards() int { return r.tr.Shards() }
+
+// ShardStats returns per-shard tracker summaries (diagnostics, hopetop).
+func (r *Runtime) ShardStats() []tracker.ShardStat { return r.tr.ShardStats() }
 
 // Observer returns the attached observability sink (nil when none).
 func (r *Runtime) Observer() *obs.Observer { return r.obs }
@@ -296,16 +327,29 @@ func (r *Runtime) route(from, to string, msg *rmsg) error {
 	}
 	due := time.Now().Add(delay + extra)
 	key := linkKey{from: from, to: to}
-	r.sched.schedule(r, &delivery{due: due, key: key, msg: msg, dst: dst})
+	sc := r.schedFor(from)
+	sc.schedule(r, &delivery{due: due, key: key, msg: msg, dst: dst})
 	if dup {
 		// The copy shares the original's seq, so the receiver's
 		// per-link duplicate filter suppresses it at enqueue. It is
 		// scheduled after the original on the same link, so it can
 		// never overtake it.
 		r.obs.Emit(obs.KFaultDup, dst.id, ids.NoAID, ids.NoInterval, 0)
-		r.sched.schedule(r, &delivery{due: due, key: key, msg: msg, dst: dst})
+		sc.schedule(r, &delivery{due: due, key: key, msg: msg, dst: dst})
 	}
 	return nil
+}
+
+// schedFor picks the delivery scheduler owning a sender's links
+// (FNV-1a over the name). Every link of one sender lands on one
+// scheduler, which is what keeps per-link FIFO a local property.
+func (r *Runtime) schedFor(from string) *sched {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(from); i++ {
+		h ^= uint64(from[i])
+		h *= 1099511628211
+	}
+	return r.scheds[h&r.schedMask]
 }
 
 // deliverNow hands a scheduled message to its destination; called from
@@ -399,10 +443,12 @@ func (r *Runtime) Shutdown() {
 		p.cond.Broadcast()
 		p.mu.Unlock()
 	}
-	// Flush the delivery scheduler: remaining scheduled messages are
+	// Flush the delivery schedulers: remaining scheduled messages are
 	// delivered immediately (their receivers are closed) and the
-	// scheduler goroutine exits.
-	r.sched.close()
+	// scheduler goroutines exit.
+	for _, s := range r.scheds {
+		s.close()
+	}
 	r.bump()
 }
 

@@ -182,17 +182,18 @@ func (p *Proc) toState(s procPhase) {
 }
 
 // classifyQueueLocked refreshes the memoized classification verdict of
-// every queued message, batching all stale entries through one tracker
-// lock acquisition (tracker.Classify). Caller holds p.mu; afterwards each
-// message's m.cls is current and readable without touching the tracker.
-// Lock order rt.mu → p.mu → tracker.mu is preserved. On the hot path —
-// repeated scans with no resolutions in between — this is one atomic
-// epoch load plus a pointer walk, no locks and no allocation.
+// every queued message, batching all stale entries through one pass of
+// tracker.Classify (one lock acquisition per home shard for the whole
+// batch). Caller holds p.mu; afterwards each message's m.cls is current
+// and readable without touching the tracker. Lock order rt.mu → p.mu →
+// tracker shard locks is preserved. On the hot path — repeated scans
+// with no resolutions in the shards these tags touch — this is a few
+// atomic epoch loads per message, no locks and no allocation.
 func (p *Proc) classifyQueueLocked() {
-	e := p.rt.tr.Epoch()
+	tr := p.rt.tr
 	stale := 0
 	for _, m := range p.queue {
-		if !m.cls.Current(e) {
+		if !tr.ClassCurrent(&m.cls) {
 			stale++
 		}
 	}
@@ -203,7 +204,7 @@ func (p *Proc) classifyQueueLocked() {
 	msgs := make([]*rmsg, 0, stale)
 	tagSets := make([][]ids.AID, 0, stale)
 	for _, m := range p.queue {
-		if !m.cls.Current(e) {
+		if !tr.ClassCurrent(&m.cls) {
 			msgs = append(msgs, m)
 			tagSets = append(tagSets, m.tags)
 		}

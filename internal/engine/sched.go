@@ -14,8 +14,8 @@ type delivery struct {
 	dst *Proc
 }
 
-// sched is the delivery scheduler: a single goroutine draining a min-heap
-// of pending deliveries ordered by due time. The previous implementation
+// sched is one delivery scheduler: a goroutine draining a min-heap of
+// pending deliveries ordered by due time. An early implementation
 // spawned one goroutine (and one timer) per delayed message; at high
 // fanout that is thousands of sleeping goroutines churning the runtime
 // timer heap. Here the heap holds at most one entry per active link — the
@@ -23,7 +23,16 @@ type delivery struct {
 // in send order, which is exactly the per-link FIFO the replay log
 // requires: a message never delivers before its link predecessor, even
 // when its own latency timer fires first.
+//
+// The runtime runs one sched per shard, each owning the links of the
+// senders that hash to it (Runtime.schedFor), so high-rate senders on
+// different shards neither share a heap lock nor serialize behind one
+// drain goroutine.
 type sched struct {
+	// idx is this scheduler's slot in the runtime's pool, for the
+	// per-shard heap-depth gauge.
+	idx int
+
 	mu sync.Mutex
 	// heads is the min-heap of link-oldest deliveries, keyed by due time
 	// (ties broken by global send sequence, keeping drain order
@@ -66,6 +75,7 @@ func (s *sched) schedule(r *Runtime, d *delivery) {
 	s.tails[d.key] = nil
 	heap.Push(&s.heads, d)
 	r.obs.SchedHeap(len(s.heads))
+	r.obs.ShardHeap(s.idx, len(s.heads))
 	newHead := s.heads[0] == d
 	if !s.running {
 		s.running = true

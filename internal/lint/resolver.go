@@ -47,13 +47,17 @@ func IsRuntimePackage(path string) bool { return runtimePackages[path] }
 // flagged. TestObsAllowlistIsWriteOnly in internal/vet checks this list
 // against the obs API: every allowlisted method must have no results.
 var WriteOnlyObsHooks = map[string]bool{
-	"Emit":         true,
-	"Annotate":     true,
-	"MsgEnqueued":  true,
-	"ClassifyScan": true,
-	"SchedHeap":    true,
-	"RegisterProc": true,
-	"Observe":      true,
+	"Emit":             true,
+	"Annotate":         true,
+	"MsgEnqueued":      true,
+	"ClassifyScan":     true,
+	"SchedHeap":        true,
+	"RegisterProc":     true,
+	"Observe":          true,
+	"ShardAssumptions": true,
+	"ShardEpoch":       true,
+	"ShardHeap":        true,
+	"ShardContention":  true,
 }
 
 // funcKey identifies one analyzed function by the position of its

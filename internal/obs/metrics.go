@@ -87,6 +87,11 @@ var specLifetimeBounds = []int64{
 // replayDepthBounds buckets replay-log entries re-consumed per rollback.
 var replayDepthBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024}
 
+// MaxShards is the most tracker/scheduler shards the per-shard gauges
+// can record; it mirrors tracker.MaxShards (the tracker caps its shard
+// count here so a shard set fits one uint64 bitmask).
+const MaxShards = 64
+
 // Metrics is the registry of runtime activity counters, gauges, and
 // histograms. All fields are updated atomically; read them through
 // Snapshot. It extends tracker.Stats (bare interval accounting) with the
@@ -123,6 +128,16 @@ type Metrics struct {
 	// Classification cache (engine queue scans).
 	ClassifyHits   atomic.Int64 // memoized verdicts revalidated by epoch
 	ClassifyMisses atomic.Int64 // verdicts recomputed under the tracker lock
+
+	// Sharded-tracker gauges: one slot per shard, written by the tracker
+	// (assumption counts, resolution epochs) and the per-shard delivery
+	// schedulers (max heap depth). ShardContention counts settle or
+	// classify operations whose footprint escaped their home shards and
+	// escalated to an all-shard lock.
+	ShardAssumptions [MaxShards]atomic.Int64
+	ShardEpochs      [MaxShards]atomic.Int64
+	ShardHeapDepth   [MaxShards]atomic.Int64
+	ShardContention  atomic.Int64
 
 	Annotations atomic.Int64
 
@@ -177,6 +192,13 @@ type MetricsSnapshot struct {
 	ClassifyHits   int64 `json:"classify_hits"`
 	ClassifyMisses int64 `json:"classify_misses"`
 
+	// Per-shard gauges are trimmed to the highest shard that ever
+	// reported, so single-shard configurations stay compact.
+	ShardAssumptions []int64 `json:"shard_assumptions,omitempty"`
+	ShardEpochs      []int64 `json:"shard_epochs,omitempty"`
+	ShardHeapDepth   []int64 `json:"shard_heap_depth,omitempty"`
+	ShardContention  int64   `json:"shard_contention,omitempty"`
+
 	Annotations int64 `json:"annotations"`
 
 	FaultCrashes  int64 `json:"fault_crashes"`
@@ -188,6 +210,23 @@ type MetricsSnapshot struct {
 
 	SpecLifetime HistogramSnapshot `json:"spec_lifetime_ns"`
 	ReplayDepth  HistogramSnapshot `json:"replay_depth"`
+}
+
+// shardSlice copies a per-shard gauge array, trimmed to the highest
+// shard that ever recorded a nonzero value (nil when none did).
+func shardSlice(a *[MaxShards]atomic.Int64) []int64 {
+	n := MaxShards
+	for n > 0 && a[n-1].Load() == 0 {
+		n--
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = a[i].Load()
+	}
+	return out
 }
 
 // Snapshot copies every counter and histogram.
@@ -218,6 +257,11 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 
 		ClassifyHits:   m.ClassifyHits.Load(),
 		ClassifyMisses: m.ClassifyMisses.Load(),
+
+		ShardAssumptions: shardSlice(&m.ShardAssumptions),
+		ShardEpochs:      shardSlice(&m.ShardEpochs),
+		ShardHeapDepth:   shardSlice(&m.ShardHeapDepth),
+		ShardContention:  m.ShardContention.Load(),
 
 		Annotations: m.Annotations.Load(),
 

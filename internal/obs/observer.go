@@ -214,6 +214,41 @@ func (o *Observer) SchedHeap(n int) {
 	atomicMax(&o.m.MaxSchedHeap, int64(n))
 }
 
+// ShardAssumptions records the number of assumption records homed on one
+// tracker shard (a gauge, overwritten on each report).
+func (o *Observer) ShardAssumptions(shard, n int) {
+	if o == nil || shard < 0 || shard >= MaxShards {
+		return
+	}
+	o.m.ShardAssumptions[shard].Store(int64(n))
+}
+
+// ShardEpoch records one tracker shard's resolution epoch after a settle
+// commit advanced it.
+func (o *Observer) ShardEpoch(shard int, epoch uint64) {
+	if o == nil || shard < 0 || shard >= MaxShards {
+		return
+	}
+	o.m.ShardEpochs[shard].Store(int64(epoch))
+}
+
+// ShardHeap records one delivery-scheduler shard's heap depth.
+func (o *Observer) ShardHeap(shard, depth int) {
+	if o == nil || shard < 0 || shard >= MaxShards {
+		return
+	}
+	atomicMax(&o.m.ShardHeapDepth[shard], int64(depth))
+}
+
+// ShardContention counts one settle or classify operation whose
+// footprint escaped its home shards and escalated to an all-shard lock.
+func (o *Observer) ShardContention() {
+	if o == nil {
+		return
+	}
+	o.m.ShardContention.Add(1)
+}
+
 // Events returns the retained event window in emission order and the
 // number of older events lost to ring overwrite.
 func (o *Observer) Events() (events []Event, dropped uint64) {
@@ -289,6 +324,24 @@ func (o *Observer) Dump() string {
 	}
 	fmt.Fprintf(&b, "  classify:    hits=%d misses=%d (%.1f%% cached)\n",
 		m.ClassifyHits, m.ClassifyMisses, hitPct)
+	if n := len(m.ShardAssumptions); n > 0 || m.ShardContention > 0 {
+		maxA, sumA := int64(0), int64(0)
+		for _, v := range m.ShardAssumptions {
+			sumA += v
+			if v > maxA {
+				maxA = v
+			}
+		}
+		imbalance := 1.0
+		if n > 0 && sumA > 0 {
+			imbalance = float64(maxA) * float64(n) / float64(sumA)
+		}
+		fmt.Fprintf(&b, "  shards:      n=%d assumptions=%d imbalance=%.2fx escalations=%d\n",
+			n, sumA, imbalance, m.ShardContention)
+		if len(m.ShardHeapDepth) > 0 {
+			fmt.Fprintf(&b, "               sched-heaps(max)=%v\n", m.ShardHeapDepth)
+		}
+	}
 	if m.FaultCrashes+m.FaultDrops+m.FaultDups+m.FaultDelays+m.FaultStalls > 0 {
 		fmt.Fprintf(&b, "  faults:      crashes=%d drops=%d dups=%d delays=%d stalls=%d (dup-suppressed=%d)\n",
 			m.FaultCrashes, m.FaultDrops, m.FaultDups, m.FaultDelays, m.FaultStalls, m.DupSuppressed)

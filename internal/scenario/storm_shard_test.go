@@ -1,0 +1,51 @@
+package scenario
+
+import (
+	"testing"
+
+	"hope/internal/engine"
+)
+
+// TestStormShardDifferential is the shard-count oracle: Storm's committed
+// output is a pure function of the workload, so runs pinned to one shard
+// (the old single-lock configuration), to the default shard count, and to
+// the 64-shard maximum must be byte-identical — under a clean network and
+// under the aggressive fault plan, across a soak of seeds. Sharding may
+// change only how fast speculation settles, never what commits.
+func TestStormShardDifferential(t *testing.T) {
+	const jobs = 16
+	want := runStorm(t, jobs, engine.WithShards(1))
+	if want == "" {
+		t.Fatal("1-shard Storm produced no output")
+	}
+	for _, shards := range []int{0, 4, 64} { // 0 = default (GOMAXPROCS-derived)
+		if got := runStorm(t, jobs, engine.WithShards(shards)); got != want {
+			t.Fatalf("shards=%d: committed output diverged from 1-shard run\nwant:\n%s\ngot:\n%s",
+				shards, want, got)
+		}
+	}
+
+	seeds := 32
+	if testing.Short() {
+		seeds = 8
+	}
+	injected := int64(0)
+	for seed := 0; seed < seeds; seed++ {
+		ref := aggressivePlan(int64(seed))
+		single := runStorm(t, jobs, engine.WithShards(1), engine.WithFaults(ref))
+		if single != want {
+			t.Fatalf("seed %d: 1-shard faulted run diverged from clean run", seed)
+		}
+		plan := aggressivePlan(int64(seed))
+		sharded := runStorm(t, jobs, engine.WithShards(64), engine.WithFaults(plan))
+		if sharded != want {
+			t.Fatalf("seed %d (%s): 64-shard committed output diverged\ninjected: %v\nwant:\n%s\ngot:\n%s",
+				seed, plan, plan.Injections(), want, sharded)
+		}
+		injected += plan.Total()
+	}
+	if injected == 0 {
+		t.Fatal("soak injected no faults — the differential checked nothing")
+	}
+	t.Logf("%d seeds, %d faults injected, output identical across shard counts", seeds, injected)
+}

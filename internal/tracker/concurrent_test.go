@@ -106,7 +106,7 @@ func TestConcurrentClassificationCoherence(t *testing.T) {
 						c = &TagClass{}
 						caches[idx] = c
 					}
-					wasSettled := c.Current(tr.Epoch()) && c.Settled
+					wasSettled := tr.ClassCurrent(c) && c.Settled
 					e1 := tr.Epoch()
 					s, o := tr.ClassifyCached(tags, c)
 					sf, of := tr.Settled(tags)

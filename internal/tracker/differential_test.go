@@ -59,9 +59,11 @@ func genScript(rng *rand.Rand, procs, aids, length int) []cmd {
 
 // runTracker applies the script to the tracker, each command in order,
 // issued by its process. Guesses use the command index as log index.
-func runTracker(t *testing.T, script []cmd, procs, aids int) (map[int]Resolution, map[int]bool, bool) {
+// opts configure the tracker (the shard-count differential tests pass
+// WithShards).
+func runTracker(t *testing.T, script []cmd, procs, aids int, opts ...Option) (map[int]Resolution, map[int]bool, bool) {
 	t.Helper()
-	tr := New()
+	tr := New(opts...)
 	procIDs := make([]ids.Proc, procs)
 	for i := range procIDs {
 		procIDs[i] = tr.Register(noopHooks{})

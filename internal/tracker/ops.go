@@ -1,6 +1,7 @@
 package tracker
 
 import (
+	"sort"
 	"time"
 
 	"hope/internal/ids"
@@ -29,48 +30,75 @@ type GuessOutcome struct {
 
 // Guess executes guess(X) for process p (Section 5.1). logIndex is the
 // replay-log position of the guess, used as the rollback restart point.
+//
+// Home shards: the process's (new interval, live chain) and X's; the
+// dependency walk escalates if X's transitive expansion crosses out.
 func (t *Tracker) Guess(p ids.Proc, x ids.AID, logIndex int) (GuessOutcome, error) {
-	t.mu.Lock()
-	ps, err := t.procLocked(p)
+	ctx := t.newOpCtx()
+	var out GuessOutcome
+	home := bit(t.procIdx(p)) | bit(t.aidIdx(x))
+	err := t.settleCtx(ctx, home, func(locked uint64) error {
+		out = GuessOutcome{}
+		ps, err := t.procAt(p)
+		if err != nil {
+			return err
+		}
+		if ps.pending != nil {
+			return ErrRolledBack
+		}
+		sh := t.procShard(p)
+		a := t.aid(x)
+		switch a.status {
+		case Affirmed:
+			sh.stats.ShortGuesses++
+			out.Result = true
+			return nil
+		case Denied:
+			sh.stats.ShortGuesses++
+			return nil
+		}
+		deps, orphan, escaped := t.resolveDepsMasked([]ids.AID{x}, locked)
+		if escaped {
+			return errEscape
+		}
+		if orphan {
+			sh.stats.ShortGuesses++
+			return nil
+		}
+		if len(deps) == 0 {
+			sh.stats.ShortGuesses++
+			out.Result = true
+			return nil
+		}
+		// Opening the interval records it in the DOM of every dep (all
+		// inside locked — the walk found them there) and of every
+		// assumption inherited from the enclosing interval; those
+		// inherited homes must be locked too.
+		if cur := ps.current(); cur != nil {
+			ok := cur.ido.Range(func(y ids.AID) bool { return locked&bit(t.aidIdx(y)) != 0 })
+			if !ok {
+				return errEscape
+			}
+		}
+		iv := t.openIntervalLocked(ps, logIndex, false, deps)
+		sh.stats.Guesses++
+		out = GuessOutcome{Result: true, Interval: iv.id}
+		return nil
+	})
 	if err != nil {
-		t.mu.Unlock()
 		return GuessOutcome{}, err
 	}
-	if ps.pending != nil {
-		t.mu.Unlock()
-		return GuessOutcome{}, ErrRolledBack
+	if out.Interval != ids.NoInterval {
+		t.obs.Emit(obs.KGuessOpened, p, x, out.Interval, 0)
+	} else {
+		var v int64
+		if out.Result {
+			v = 1
+		}
+		t.obs.Emit(obs.KGuessShort, p, x, ids.NoInterval, v)
 	}
-	a := t.aidLocked(x)
-	switch a.status {
-	case Affirmed:
-		t.stats.ShortGuesses++
-		t.mu.Unlock()
-		t.obs.Emit(obs.KGuessShort, p, x, ids.NoInterval, 1)
-		return GuessOutcome{Result: true}, nil
-	case Denied:
-		t.stats.ShortGuesses++
-		t.mu.Unlock()
-		t.obs.Emit(obs.KGuessShort, p, x, ids.NoInterval, 0)
-		return GuessOutcome{Result: false}, nil
-	}
-	deps, orphan := t.resolveDepsLocked([]ids.AID{x})
-	if orphan {
-		t.stats.ShortGuesses++
-		t.mu.Unlock()
-		t.obs.Emit(obs.KGuessShort, p, x, ids.NoInterval, 0)
-		return GuessOutcome{Result: false}, nil
-	}
-	if len(deps) == 0 {
-		t.stats.ShortGuesses++
-		t.mu.Unlock()
-		t.obs.Emit(obs.KGuessShort, p, x, ids.NoInterval, 1)
-		return GuessOutcome{Result: true}, nil
-	}
-	iv := t.openIntervalLocked(ps, logIndex, false, deps)
-	t.stats.Guesses++
-	t.mu.Unlock()
-	t.obs.Emit(obs.KGuessOpened, p, x, iv.id, 0)
-	return GuessOutcome{Result: true, Interval: iv.id}, nil
+	t.finish(ctx)
+	return out, nil
 }
 
 // DeliverOutcome is the result of a Deliver call.
@@ -86,59 +114,87 @@ type DeliverOutcome struct {
 // Deliver performs the implicit guesses for receiving a message tagged
 // with tags (§3, §7). logIndex is the replay-log position of the receive.
 func (t *Tracker) Deliver(p ids.Proc, tags []ids.AID, logIndex int) (DeliverOutcome, error) {
-	t.mu.Lock()
-	ps, err := t.procLocked(p)
+	ctx := t.newOpCtx()
+	var out DeliverOutcome
+	var depCount int
+	home := bit(t.procIdx(p)) | t.tagsMask(tags)
+	err := t.settleCtx(ctx, home, func(locked uint64) error {
+		out = DeliverOutcome{}
+		ps, err := t.procAt(p)
+		if err != nil {
+			return err
+		}
+		if ps.pending != nil {
+			return ErrRolledBack
+		}
+		deps, orphan, escaped := t.resolveDepsMasked(tags, locked)
+		if escaped {
+			return errEscape
+		}
+		if orphan {
+			t.procShard(p).stats.Orphans++
+			out.Orphan = true
+			return nil
+		}
+		if len(deps) == 0 {
+			return nil
+		}
+		if cur := ps.current(); cur != nil {
+			ok := cur.ido.Range(func(y ids.AID) bool { return locked&bit(t.aidIdx(y)) != 0 })
+			if !ok {
+				return errEscape
+			}
+		}
+		iv := t.openIntervalLocked(ps, logIndex, true, deps)
+		t.procShard(p).stats.ImplicitGuesses++
+		depCount = len(deps)
+		out.Interval = iv.id
+		return nil
+	})
 	if err != nil {
-		t.mu.Unlock()
 		return DeliverOutcome{}, err
 	}
-	if ps.pending != nil {
-		t.mu.Unlock()
-		return DeliverOutcome{}, ErrRolledBack
-	}
-	deps, orphan := t.resolveDepsLocked(tags)
-	if orphan {
-		t.stats.Orphans++
-		t.mu.Unlock()
+	if out.Orphan {
 		t.obs.Emit(obs.KOrphanDropped, p, ids.NoAID, ids.NoInterval, 0)
-		return DeliverOutcome{Orphan: true}, nil
+	} else if out.Interval != ids.NoInterval {
+		t.obs.Emit(obs.KMsgTainted, p, ids.NoAID, out.Interval, int64(depCount))
 	}
-	if len(deps) == 0 {
-		t.mu.Unlock()
-		return DeliverOutcome{}, nil
-	}
-	iv := t.openIntervalLocked(ps, logIndex, true, deps)
-	t.stats.ImplicitGuesses++
-	t.mu.Unlock()
-	t.obs.Emit(obs.KMsgTainted, p, ids.NoAID, iv.id, int64(len(deps)))
-	return DeliverOutcome{Interval: iv.id}, nil
+	t.finish(ctx)
+	return out, nil
 }
 
 // Affirm executes affirm(X) for process p (Section 5.2, Equations 7–14).
+//
+// The settle's footprint is p's live chain plus X's resolution closure:
+// draining X.DOM can finalize dependent intervals, whose IHD members
+// may be definitively denied, cascading further — all admitted (or
+// escalated) by the footprint walk before anything is written.
 func (t *Tracker) Affirm(p ids.Proc, x ids.AID) error {
 	if s := t.stall; s != nil {
 		s(p, "affirm")
 	}
-	t.mu.Lock()
-	ps, err := t.procLocked(p)
-	if err != nil {
-		t.mu.Unlock()
-		return err
-	}
-	if ps.pending != nil {
-		t.mu.Unlock()
-		return ErrRolledBack
-	}
-	ctx := t.newOpCtxLocked()
-	err = t.affirmLocked(ps, x, ctx)
-	t.commitLocked(ctx)
-	t.mu.Unlock()
+	ctx := t.newOpCtx()
+	home := bit(t.procIdx(p)) | bit(t.aidIdx(x))
+	err := t.settleCtx(ctx, home, func(locked uint64) error {
+		ps, err := t.procAt(p)
+		if err != nil {
+			return err
+		}
+		if ps.pending != nil {
+			return ErrRolledBack
+		}
+		f := t.newFootprint(locked)
+		if !f.visitProc(p) || !f.resolveAID(x) {
+			return errEscape
+		}
+		return t.affirmLocked(ps, x, ctx)
+	})
 	t.finish(ctx)
 	return err
 }
 
 func (t *Tracker) affirmLocked(ps *procState, x ids.AID, ctx *opCtx) error {
-	a := t.aidLocked(x)
+	a := t.aid(x)
 	switch {
 	case a.status == Affirmed || a.status == SpecAffirmed:
 		return nil // redundant (§5.2)
@@ -148,21 +204,20 @@ func (t *Tracker) affirmLocked(ps *procState, x ids.AID, ctx *opCtx) error {
 		return ErrConflict
 	}
 
-	ctx.resolved = true
+	st := t.aidShard(x)
 	cur := ps.current()
 	if cur == nil {
 		// Definite affirm (Equations 7–9).
 		a.claimed = true
-		a.status = Affirmed
-		t.stats.DefiniteAffirms++
+		t.setStatus(a, Affirmed, ctx)
+		st.stats.DefiniteAffirms++
 		t.obs.Emit(obs.KAffirmed, ps.id, x, ids.NoInterval, 0)
-		for _, bID := range a.dom.Elems() {
-			b := t.intervals[bID]
-			if b == nil || b.status != speculative {
+		for _, b := range a.dom.Elems() {
+			if b.status != speculative {
 				continue
 			}
 			b.ido.Remove(x)
-			a.dom.Remove(bID)
+			a.dom.Remove(b)
 			if b.ido.Empty() {
 				t.finalizeLocked(b, ctx)
 			}
@@ -170,18 +225,17 @@ func (t *Tracker) affirmLocked(ps *procState, x ids.AID, ctx *opCtx) error {
 	} else {
 		// Speculative affirm (Equations 10–14).
 		a.claimed = true
-		a.status = SpecAffirmed
+		t.setStatus(a, SpecAffirmed, ctx)
 		a.affirmer = cur.id
 		repl := cur.ido.Clone()
 		repl.Remove(x)
 		a.replacement = repl
 		cur.specAffirmed.Add(x)
-		t.stats.SpecAffirms++
+		st.stats.SpecAffirms++
 		t.obs.Emit(obs.KSpecAffirmed, ps.id, x, cur.id, 0)
 		idoSnap := cur.ido.Clone()
-		for _, bID := range a.dom.Elems() {
-			b := t.intervals[bID]
-			if b == nil || b.status != speculative {
+		for _, b := range a.dom.Elems() {
+			if b.status != speculative {
 				continue
 			}
 			for _, y := range idoSnap.Elems() {
@@ -189,11 +243,11 @@ func (t *Tracker) affirmLocked(ps *procState, x ids.AID, ctx *opCtx) error {
 					continue
 				}
 				if b.ido.Add(y) {
-					t.aidLocked(y).dom.Add(bID)
+					t.aid(y).dom.Add(b)
 				}
 			}
 			b.ido.Remove(x)
-			a.dom.Remove(bID)
+			a.dom.Remove(b)
 			if b.ido.Empty() {
 				t.finalizeLocked(b, ctx)
 			}
@@ -207,26 +261,28 @@ func (t *Tracker) Deny(p ids.Proc, x ids.AID) error {
 	if s := t.stall; s != nil {
 		s(p, "deny")
 	}
-	t.mu.Lock()
-	ps, err := t.procLocked(p)
-	if err != nil {
-		t.mu.Unlock()
-		return err
-	}
-	if ps.pending != nil {
-		t.mu.Unlock()
-		return ErrRolledBack
-	}
-	ctx := t.newOpCtxLocked()
-	err = t.denyLocked(ps, x, ctx)
-	t.commitLocked(ctx)
-	t.mu.Unlock()
+	ctx := t.newOpCtx()
+	home := bit(t.procIdx(p)) | bit(t.aidIdx(x))
+	err := t.settleCtx(ctx, home, func(locked uint64) error {
+		ps, err := t.procAt(p)
+		if err != nil {
+			return err
+		}
+		if ps.pending != nil {
+			return ErrRolledBack
+		}
+		f := t.newFootprint(locked)
+		if !f.visitProc(p) || !f.resolveAID(x) {
+			return errEscape
+		}
+		return t.denyLocked(ps, x, ctx)
+	})
 	t.finish(ctx)
 	return err
 }
 
 func (t *Tracker) denyLocked(ps *procState, x ids.AID, ctx *opCtx) error {
-	a := t.aidLocked(x)
+	a := t.aid(x)
 	switch {
 	case a.status == Denied || (a.claimed && a.status == Unresolved):
 		return nil // redundant (§5.2)
@@ -234,21 +290,25 @@ func (t *Tracker) denyLocked(ps *procState, x ids.AID, ctx *opCtx) error {
 		return ErrConflict
 	}
 
-	ctx.resolved = true
+	st := t.aidShard(x)
 	cur := ps.current()
 	if cur == nil || cur.ido.Has(x) {
 		// Definite deny (Equation 15).
 		a.claimed = true
-		a.status = Denied
-		t.stats.DefiniteDenies++
+		t.setStatus(a, Denied, ctx)
+		st.stats.DefiniteDenies++
 		t.obs.Emit(obs.KDenied, ps.id, x, ids.NoInterval, 0)
 		t.rollbackDependentsLocked(a, ctx)
 	} else {
-		// Speculative deny (Equation 16).
+		// Speculative deny (Equation 16): only the claim and the IHD
+		// membership change — no assumption changes resolution state, so
+		// no epoch moves and cached verdicts stay valid; the watcher
+		// still fires for pessimistic waiters.
 		a.claimed = true
 		a.claimedBy = cur.id
 		cur.ihd.Add(x)
-		t.stats.SpecDenies++
+		ctx.resolved = true
+		st.stats.SpecDenies++
 		t.obs.Emit(obs.KSpecDenied, ps.id, x, cur.id, 0)
 	}
 	return nil
@@ -261,54 +321,55 @@ func (t *Tracker) FreeOf(p ids.Proc, x ids.AID) error {
 	if s := t.stall; s != nil {
 		s(p, "free_of")
 	}
-	t.mu.Lock()
-	ps, err := t.procLocked(p)
-	if err != nil {
-		t.mu.Unlock()
-		return err
-	}
-	if ps.pending != nil {
-		t.mu.Unlock()
-		return ErrRolledBack
-	}
-	t.stats.FreeOfs++
-	t.obs.Emit(obs.KFreeOf, p, x, ids.NoInterval, 0)
-	ctx := t.newOpCtxLocked()
-	a := t.aidLocked(x)
-	if a.status == Denied {
-		// Re-execution after the constraint violation was handled.
-		t.mu.Unlock()
-		return nil
-	}
-	cur := ps.current()
-	if cur != nil && cur.ido.Has(x) {
-		err = t.denyLocked(ps, x, ctx) // Equation 19 (definite: X ∈ A.IDO)
-	} else {
-		err = t.affirmLocked(ps, x, ctx) // Equations 17–18
-	}
-	t.commitLocked(ctx)
-	t.mu.Unlock()
+	ctx := t.newOpCtx()
+	home := bit(t.procIdx(p)) | bit(t.aidIdx(x))
+	err := t.settleCtx(ctx, home, func(locked uint64) error {
+		ps, err := t.procAt(p)
+		if err != nil {
+			return err
+		}
+		if ps.pending != nil {
+			return ErrRolledBack
+		}
+		f := t.newFootprint(locked)
+		if !f.visitProc(p) || !f.resolveAID(x) {
+			return errEscape
+		}
+		t.aidShard(x).stats.FreeOfs++
+		t.obs.Emit(obs.KFreeOf, p, x, ids.NoInterval, 0)
+		a := t.aid(x)
+		if a.status == Denied {
+			// Re-execution after the constraint violation was handled.
+			return nil
+		}
+		cur := ps.current()
+		if cur != nil && cur.ido.Has(x) {
+			return t.denyLocked(ps, x, ctx) // Equation 19 (definite: X ∈ A.IDO)
+		}
+		return t.affirmLocked(ps, x, ctx) // Equations 17–18
+	})
 	t.finish(ctx)
 	return err
 }
 
 // AttachEffect registers commit/abort callbacks on p's current interval.
 // If p is definite the effect is immediate: commit runs before the call
-// returns and abort is discarded.
+// returns and abort is discarded. Touches only p's home shard.
 func (t *Tracker) AttachEffect(p ids.Proc, commit, abort func()) error {
-	t.mu.Lock()
-	ps, ok := t.procs[p]
+	s := t.procShard(p)
+	s.mu.Lock()
+	ps, ok := s.procs[p]
 	if !ok {
-		t.mu.Unlock()
+		s.mu.Unlock()
 		return ErrUnknownProc
 	}
 	if ps.pending != nil {
-		t.mu.Unlock()
+		s.mu.Unlock()
 		return ErrRolledBack
 	}
 	cur := ps.current()
 	if cur == nil {
-		t.mu.Unlock()
+		s.mu.Unlock()
 		if commit != nil {
 			commit()
 		}
@@ -320,47 +381,51 @@ func (t *Tracker) AttachEffect(p ids.Proc, commit, abort func()) error {
 	if abort != nil {
 		cur.aborts = append(cur.aborts, abort)
 	}
-	t.mu.Unlock()
+	s.mu.Unlock()
 	return nil
 }
 
 // finalizeLocked makes iv definite (Section 5.5, Equations 20–23):
 // pending speculative denies become definite, speculatively affirmed AIDs
-// become affirmed, and buffered effects are queued for release.
+// become affirmed, and buffered effects are queued for release. Caller
+// holds the settle's locked set, which the footprint walk guarantees
+// covers iv's shard and every assumption it can flip.
 func (t *Tracker) finalizeLocked(iv *intervalState, ctx *opCtx) {
 	if iv.status != speculative {
 		return
 	}
 	iv.status = finalized
 	ctx.resolved = true
+	t.finalMu.Lock()
 	t.finalizedIvs[iv.id] = true
-	t.stats.Finalized++
+	t.finalMu.Unlock()
+	sh := t.procShard(iv.proc)
+	sh.stats.Finalized++
 	t.obs.Emit(obs.KCommitted, iv.proc, ids.NoAID, iv.id, t.lifetime(iv))
 	if n := len(iv.commits); n > 0 {
 		t.obs.Emit(obs.KEffectReleased, iv.proc, ids.NoAID, iv.id, int64(n))
 	}
-	ps := t.procs[iv.proc]
-	removeInterval(ps, iv)
+	removeInterval(sh.procs[iv.proc], iv)
 
 	for _, x := range iv.specAffirmed.Elems() {
-		a := t.aidLocked(x)
+		a := t.aid(x)
 		if a.status == SpecAffirmed && a.affirmer == iv.id {
-			a.status = Affirmed
+			t.setStatus(a, Affirmed, ctx)
 		}
 	}
 	ctx.after = append(ctx.after, iv.commits...)
 	iv.commits, iv.aborts = nil, nil
-	delete(t.intervals, iv.id)
+	delete(sh.intervals, iv.id)
 
 	// Equation 22.
 	for _, x := range iv.ihd.Elems() {
-		a := t.aidLocked(x)
+		a := t.aid(x)
 		if a.status == Denied || a.status == Affirmed {
 			continue
 		}
-		a.status = Denied
+		t.setStatus(a, Denied, ctx)
 		a.claimedBy = ids.NoInterval
-		t.stats.DefiniteDenies++
+		t.aidShard(x).stats.DefiniteDenies++
 		t.obs.Emit(obs.KDenied, iv.proc, x, ids.NoInterval, 0)
 		t.rollbackDependentsLocked(a, ctx)
 	}
@@ -370,9 +435,8 @@ func (t *Tracker) finalizeLocked(iv *intervalState, ctx *opCtx) {
 // X.DOM (and, per Theorem 5.1, every later interval of the same process)
 // is discarded.
 func (t *Tracker) rollbackDependentsLocked(a *aidState, ctx *opCtx) {
-	for _, bID := range a.dom.Elems() {
-		b := t.intervals[bID]
-		if b == nil || b.status != speculative {
+	for _, b := range a.dom.Elems() {
+		if b.status != speculative {
 			continue
 		}
 		t.rollbackFromLocked(b, ctx)
@@ -382,7 +446,8 @@ func (t *Tracker) rollbackDependentsLocked(a *aidState, ctx *opCtx) {
 // rollbackFromLocked discards iv and every later speculative interval of
 // its process (Equation 24 + Theorem 5.1), recording the restart target.
 func (t *Tracker) rollbackFromLocked(iv *intervalState, ctx *opCtx) {
-	ps := t.procs[iv.proc]
+	sh := t.procShard(iv.proc)
+	ps := sh.procs[iv.proc]
 	pos := -1
 	for i, b := range ps.live {
 		if b == iv {
@@ -398,23 +463,24 @@ func (t *Tracker) rollbackFromLocked(iv *intervalState, ctx *opCtx) {
 	for i := len(suffix) - 1; i >= 0; i-- {
 		b := suffix[i]
 		b.status = rolledBack
-		t.stats.RolledBack++
+		ctx.resolved = true
+		sh.stats.RolledBack++
 		t.obs.Emit(obs.KRolledBack, b.proc, ids.NoAID, b.id, t.lifetime(b))
 		if n := len(b.aborts); n > 0 {
 			t.obs.Emit(obs.KEffectAborted, b.proc, ids.NoAID, b.id, int64(n))
 		}
 		for _, x := range b.ido.Elems() {
-			t.aidLocked(x).dom.Remove(b.id)
+			t.aid(x).dom.Remove(b)
 		}
 		for _, x := range b.specAffirmed.Elems() {
-			ax := t.aidLocked(x)
+			ax := t.aid(x)
 			if ax.status == SpecAffirmed && ax.affirmer == b.id {
-				ax.status = Denied
+				t.setStatus(ax, Denied, ctx)
 				ax.systemDenied = true
 			}
 		}
 		for _, x := range b.ihd.Elems() {
-			ax := t.aidLocked(x)
+			ax := t.aid(x)
 			if ax.claimedBy == b.id {
 				ax.claimed = false
 				ax.claimedBy = ids.NoInterval
@@ -423,17 +489,17 @@ func (t *Tracker) rollbackFromLocked(iv *intervalState, ctx *opCtx) {
 		// Aborts run newest-first, like deferred compensations.
 		ctx.after = append(ctx.after, b.aborts...)
 		b.commits, b.aborts = nil, nil
-		delete(t.intervals, b.id)
+		delete(sh.intervals, b.id)
 	}
-	// Merge the target under the tracker lock, in the same critical
-	// section that discarded the intervals: delivery can never race a
-	// later, deeper rollback out of order.
+	// Merge the target under the process's shard lock, in the same
+	// critical section that discarded the intervals: delivery can never
+	// race a later, deeper rollback out of order.
 	tgt := RollbackTarget{LogIndex: iv.logIndex, Implicit: iv.implicit}
 	if ps.pending == nil || tgt.LogIndex < ps.pending.LogIndex {
 		cp := tgt
 		ps.pending = &cp
 	}
-	ctx.notify[iv.proc] = ps.hooks
+	ctx.notifyProc(iv.proc, ps.hooks)
 }
 
 func removeInterval(ps *procState, iv *intervalState) {
@@ -445,48 +511,114 @@ func removeInterval(ps *procState, iv *intervalState) {
 	}
 }
 
+// denySystem definitively denies x on the system's behalf (§5.6) if it
+// is still unresolved and unclaimed when its shard lock is taken.
+// Returns whether it acted.
+func (t *Tracker) denySystem(x ids.AID, ctx *opCtx) bool {
+	acted := false
+	_ = t.settleCtx(ctx, bit(t.aidIdx(x)), func(locked uint64) error {
+		f := t.newFootprint(locked)
+		if !f.resolveAID(x) {
+			return errEscape
+		}
+		a := t.aidShard(x).aids[x]
+		if a == nil || a.status != Unresolved || a.claimed {
+			return nil // resolved by an earlier sweep's cascade
+		}
+		a.claimed = true
+		a.systemDenied = true
+		t.setStatus(a, Denied, ctx)
+		t.aidShard(x).stats.DefiniteDenies++
+		t.obs.Emit(obs.KDenied, ids.NoProc, x, ids.NoInterval, 0)
+		t.rollbackDependentsLocked(a, ctx)
+		acted = true
+		return nil
+	})
+	return acted
+}
+
+// forceDiscard rolls back p's whole live chain if it still has one when
+// its shard lock is taken. Returns whether it acted.
+func (t *Tracker) forceDiscard(p ids.Proc, ctx *opCtx) bool {
+	acted := false
+	_ = t.settleCtx(ctx, bit(t.procIdx(p)), func(locked uint64) error {
+		f := t.newFootprint(locked)
+		if !f.visitProc(p) {
+			return errEscape
+		}
+		ps := t.procShard(p).procs[p]
+		if ps == nil || len(ps.live) == 0 {
+			return nil
+		}
+		t.rollbackFromLocked(ps.live[0], ctx)
+		acted = true
+		return nil
+	})
+	return acted
+}
+
 // DenyAllUnresolved resolves every outstanding assumption pessimistically
 // — the deny-all-unresolved drain policy of a graceful shutdown
-// (engine.ShutdownDrain). It alternates two passes under one critical
-// section until a fixpoint: definitively deny every unresolved, unclaimed
-// assumption (cascading rollbacks as usual), then discard any speculative
-// intervals that survive (possible when intervals hold each other's
-// assumptions claimed via speculative denies), which releases their
-// claims for the next deny pass. Afterwards every assumption is Affirmed
-// or Denied and every process is definite. Denials are system-level
-// (§5.6): replayed affirms of a swept assumption are treated as stale
-// re-executions, not conflicts. Returns the number of drain actions taken
-// (assumptions denied plus interval chains force-discarded); zero means
-// the tracker was already fully settled and no rollback was issued.
+// (engine.ShutdownDrain). It alternates two passes until a fixpoint:
+// definitively deny every unresolved, unclaimed assumption (cascading
+// rollbacks as usual), then discard any speculative intervals that
+// survive (possible when intervals hold each other's assumptions claimed
+// via speculative denies), which releases their claims for the next deny
+// pass. Afterwards every assumption is Affirmed or Denied and every
+// process is definite. Denials are system-level (§5.6): replayed affirms
+// of a swept assumption are treated as stale re-executions, not
+// conflicts.
+//
+// Candidates are collected from every shard and swept in ascending
+// identifier order, so the sweep sequence — and therefore the cascade
+// order and the emitted event stream — is independent of the shard
+// count. Each sweep is its own settle; processes are quiesced by the
+// caller, so no settle observes the drain half-done in a way that
+// matters, and the rollback notifications and effects run once at the
+// end like the old single-critical-section drain. Returns the number of
+// drain actions taken (assumptions denied plus interval chains
+// force-discarded); zero means the tracker was already fully settled and
+// no rollback was issued.
 func (t *Tracker) DenyAllUnresolved() int {
-	t.mu.Lock()
-	ctx := t.newOpCtxLocked()
+	ctx := t.newOpCtx()
 	denied := 0
 	for {
 		progress := false
-		for _, a := range t.aids {
-			if a.status != Unresolved || a.claimed {
-				continue
+		var cands []ids.AID
+		for _, s := range t.shards {
+			s.mu.RLock()
+			for id, a := range s.aids {
+				if a.status == Unresolved && !a.claimed {
+					cands = append(cands, id)
+				}
 			}
-			a.claimed = true
-			a.status = Denied
-			a.systemDenied = true
-			t.stats.DefiniteDenies++
-			t.obs.Emit(obs.KDenied, ids.NoProc, a.id, ids.NoInterval, 0)
-			t.rollbackDependentsLocked(a, ctx)
-			ctx.resolved = true
-			denied++
-			progress = true
+			s.mu.RUnlock()
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+		for _, x := range cands {
+			if t.denySystem(x, ctx) {
+				denied++
+				progress = true
+			}
 		}
 		if progress {
 			continue
 		}
 		// No deniable assumption left, but claim cycles may keep
 		// intervals alive: discard them directly, releasing their claims.
-		for _, ps := range t.procs {
-			if len(ps.live) > 0 {
-				t.rollbackFromLocked(ps.live[0], ctx)
-				ctx.resolved = true
+		var procs []ids.Proc
+		for _, s := range t.shards {
+			s.mu.RLock()
+			for id, ps := range s.procs {
+				if len(ps.live) > 0 {
+					procs = append(procs, id)
+				}
+			}
+			s.mu.RUnlock()
+		}
+		sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+		for _, p := range procs {
+			if t.forceDiscard(p, ctx) {
 				denied++
 				progress = true
 			}
@@ -495,17 +627,16 @@ func (t *Tracker) DenyAllUnresolved() int {
 			break
 		}
 	}
-	t.commitLocked(ctx)
-	t.mu.Unlock()
 	t.finish(ctx)
 	return denied
 }
 
 // LiveIntervals reports p's speculative interval count (diagnostics).
 func (t *Tracker) LiveIntervals(p ids.Proc) int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	ps, ok := t.procs[p]
+	s := t.procShard(p)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ps, ok := s.procs[p]
 	if !ok {
 		return 0
 	}
@@ -514,9 +645,10 @@ func (t *Tracker) LiveIntervals(p ids.Proc) int {
 
 // CurrentInterval returns p's current interval, or NoInterval.
 func (t *Tracker) CurrentInterval(p ids.Proc) ids.Interval {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	ps, ok := t.procs[p]
+	s := t.procShard(p)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ps, ok := s.procs[p]
 	if !ok {
 		return ids.NoInterval
 	}

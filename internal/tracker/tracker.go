@@ -1,6 +1,6 @@
 // Package tracker is the concurrent dependency-tracking engine of the HOPE
 // runtime: the same interval/AID algebra as internal/semantics (Equations
-// 1–24 of the paper), re-implemented behind a mutex for use by many
+// 1–24 of the paper), re-implemented behind sharded locks for use by many
 // goroutine processes at once.
 //
 // Where the semantics machine owns whole process states (program counters,
@@ -13,20 +13,34 @@
 //
 // Concurrency contract, matching the paper's §7 claim that dependency
 // tracking never makes a user process wait for another's progress: every
-// exported method completes under one short critical section — no method
+// exported method completes under short critical sections — no method
 // blocks on user code or on another process. Settlement callbacks (effect
-// commits/aborts, rollback requests) are invoked after the lock is
+// commits/aborts, rollback requests) are invoked after all locks are
 // released.
 //
-// The lock is a sync.RWMutex: read-mostly operations (Status, Settled,
-// Orphaned, Tag, Definite, PendingRollback, Stats, Classify) share the
-// lock, so concurrent receivers scanning their queues never serialize
-// against each other — only against resolutions. On top of that, the
-// tracker maintains a monotonic *resolution epoch* (see Epoch): any
-// mutation that can change a tag set's classification bumps it, so
-// callers can memoize a classification verdict and revalidate it with
-// one atomic load (TagClass, ClassifyCached) instead of re-running the
-// transitive dependency walk on every queue scan.
+// # Sharding
+//
+// State is partitioned by identifier hash into N independent shards
+// (N = next power of two >= GOMAXPROCS by default, configurable with
+// WithShards, capped at MaxShards so shard sets fit a uint64 bitmask).
+// Each shard owns the assumptions homed on it, the processes homed on
+// it, those processes' intervals, its own RWMutex, and its own
+// resolution epoch. Operations whose footprint stays inside their home
+// shards — the common case — touch only those locks, so Tag/Affirm/Deny
+// on disjoint assumptions never contend. Operations whose dependency
+// closure crosses shards go through a two-phase settle (see
+// Tracker.settleCtx in shard.go): a read-only footprint walk under the
+// home locks, escalating to an ordered all-shard lock when the closure
+// escapes.
+//
+// On top of the shard locks, each shard maintains a monotonic
+// per-shard *resolution epoch*: any mutation that can change a tag
+// set's classification bumps the epochs of the shards it touched, so
+// callers can memoize a classification verdict together with the
+// epochs of the shards its dependency walk visited and revalidate it
+// with a handful of atomic loads (TagClass, ClassifyCached,
+// ClassCurrent) — no locks at all on the hot path — instead of
+// re-running the transitive walk on every queue scan.
 package tracker
 
 import (
@@ -127,9 +141,29 @@ type Stats struct {
 	Orphans         int64 // orphaned tag sets observed at delivery
 }
 
+// add accumulates o into s (per-shard counters into a global view).
+func (s *Stats) add(o Stats) {
+	s.Guesses += o.Guesses
+	s.ShortGuesses += o.ShortGuesses
+	s.ImplicitGuesses += o.ImplicitGuesses
+	s.DefiniteAffirms += o.DefiniteAffirms
+	s.SpecAffirms += o.SpecAffirms
+	s.DefiniteDenies += o.DefiniteDenies
+	s.SpecDenies += o.SpecDenies
+	s.FreeOfs += o.FreeOfs
+	s.Finalized += o.Finalized
+	s.RolledBack += o.RolledBack
+	s.Orphans += o.Orphans
+}
+
 type aidState struct {
-	id           ids.AID
-	dom          *sets.Set[ids.Interval]
+	id ids.AID
+	// dom holds the dependent intervals directly (not by id): an
+	// interval lives in its process's shard, and cross-shard cascades
+	// must not need a foreign shard's interval map to find it. The set
+	// is insertion-ordered, so cascade order is deterministic for a
+	// given operation history regardless of shard count.
+	dom          *sets.Set[*intervalState]
 	status       Resolution
 	affirmer     ids.Interval
 	replacement  *sets.Set[ids.AID]
@@ -170,8 +204,8 @@ type procState struct {
 	// last element is the current interval (the I control variable).
 	live []*intervalState
 	// pending is the earliest unapplied rollback target for this
-	// process. It is merged under the tracker lock — inside the same
-	// critical section that discards the intervals — so targets can
+	// process. It is merged under the process's shard lock — inside the
+	// same critical section that discards the intervals — so targets can
 	// never be observed out of order with the interval state they
 	// describe (Theorem 5.1 makes the minimum the correct merge).
 	pending *RollbackTarget
@@ -187,46 +221,73 @@ func (p *procState) current() *intervalState {
 // Tracker is the shared dependency-tracking state for one Runtime.
 // The zero value is not usable; call New.
 type Tracker struct {
-	mu        sync.RWMutex
-	gen       ids.Gen
-	aids      map[ids.AID]*aidState
-	intervals map[ids.Interval]*intervalState
-	procs     map[ids.Proc]*procState
-	stats     Stats
-	watcher   func()
-	// epoch is the resolution epoch: it advances (under the write lock)
-	// whenever an assumption's resolution changes or an interval settles —
-	// exactly the mutations that can change a tag set's classification.
-	// NewAID does not bump it: a fresh AID cannot already appear in any
-	// tag set or replacement set, so no cached verdict can mention it.
-	epoch atomic.Uint64
-	// finalizedIvs records intervals made definite, for the engine's
-	// requeue-sanity assertion (a finalized receive must never be
-	// redelivered).
+	shards []*shard
+	// smask selects a home shard from an identifier's low bits;
+	// allMask has one bit per shard (the all-shard lock set).
+	smask   uint64
+	allMask uint64
+
+	gen ids.Gen
+	// settleSeq is the global settle sequence number: it advances once
+	// per settle commit that resolved anything, preserving the old
+	// single-epoch Epoch() as a monotonic "something settled" counter
+	// for diagnostics and tests. Classification validity uses the
+	// per-shard epochs, not this.
+	settleSeq atomic.Uint64
+	// watcher holds the resolution watcher as a watcherBox (atomic so
+	// opCtx can capture it without any shard lock).
+	watcher atomic.Value
+	// escalations counts home-set -> all-shard lock escalations.
+	escalations atomic.Int64
+
+	// finalMu guards finalizedIvs: intervals made definite, for the
+	// engine's requeue-sanity assertion (a finalized receive must never
+	// be redelivered). A dedicated leaf mutex, acquired with no shard
+	// lock ordering constraints because nothing is acquired after it.
+	finalMu      sync.Mutex
 	finalizedIvs map[ids.Interval]bool
+
 	// obs is the observability sink (nil = no-op). Hook points emit
 	// lifecycle events through it; nothing in the tracker ever reads it,
 	// so observation cannot perturb dependency state or replay.
 	obs *obs.Observer
 	// stall is the fault-injection resolution-stall hook (nil = no-op):
 	// called in the resolving process's goroutine at the top of
-	// Affirm/Deny/FreeOf, before the critical section, so an injected
+	// Affirm/Deny/FreeOf, before any critical section, so an injected
 	// sleep widens the speculation window the resolution would close
-	// without ever holding the tracker lock.
+	// without ever holding a tracker lock.
 	stall func(p ids.Proc, op string)
 }
 
-// New returns an empty tracker.
-func New() *Tracker {
+type watcherBox struct{ fn func() }
+
+// New returns an empty tracker. With no options the shard count is
+// DefaultShards; WithShards overrides it (tests pin 1 shard to compare
+// against the sharded configuration).
+func New(opts ...Option) *Tracker {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	n := normalizeShards(cfg.shards)
 	t := &Tracker{
-		aids:         make(map[ids.AID]*aidState),
-		intervals:    make(map[ids.Interval]*intervalState),
-		procs:        make(map[ids.Proc]*procState),
+		shards:       make([]*shard, n),
+		smask:        uint64(n - 1),
+		allMask:      (uint64(1) << n) - 1,
 		finalizedIvs: make(map[ids.Interval]bool),
 	}
-	// Epoch 0 is reserved as "never classified" in TagClass, so caches
-	// zero-valued by message construction are always treated as stale.
-	t.epoch.Store(1)
+	for i := range t.shards {
+		s := &shard{
+			aids:      make(map[ids.AID]*aidState),
+			intervals: make(map[ids.Interval]*intervalState),
+			procs:     make(map[ids.Proc]*procState),
+		}
+		// Epoch 0 is reserved as "never" so zero-valued caches are
+		// always stale; see TagClass.
+		s.epoch.Store(1)
+		t.shards[i] = s
+	}
+	t.settleSeq.Store(1)
 	return t
 }
 
@@ -237,7 +298,7 @@ func (t *Tracker) SetObserver(o *obs.Observer) { t.obs = o }
 
 // SetStallHook installs the resolution-stall fault hook (nil detaches):
 // fn is invoked with the resolving process and the operation name
-// ("affirm", "deny", "free_of") before the resolution takes the tracker
+// ("affirm", "deny", "free_of") before the resolution takes any shard
 // lock, and may sleep. Like SetObserver, call it before the tracker sees
 // traffic — the field is read without synchronization.
 func (t *Tracker) SetStallHook(fn func(p ids.Proc, op string)) { t.stall = fn }
@@ -245,34 +306,51 @@ func (t *Tracker) SetStallHook(fn func(p ids.Proc, op string)) { t.stall = fn }
 // Register adds a process. The returned identifier names it in all
 // subsequent calls.
 func (t *Tracker) Register(hooks Hooks) ids.Proc {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	id := t.gen.NextProc()
-	t.procs[id] = &procState{id: id, hooks: hooks}
+	s := t.procShard(id)
+	s.mu.Lock()
+	s.procs[id] = &procState{id: id, hooks: hooks}
+	s.mu.Unlock()
 	return id
 }
 
-// NewAID allocates a fresh assumption identifier.
+// NewAID allocates a fresh assumption identifier. Allocation is an
+// atomic counter bump plus an insert into the AID's home shard; no
+// epoch moves, because a fresh AID cannot already appear in any tag set
+// or replacement set, so no cached verdict can mention it.
 func (t *Tracker) NewAID() ids.AID {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	a := t.gen.NextAID()
-	t.aids[a] = &aidState{id: a, dom: sets.New[ids.Interval](), status: Unresolved}
-	return a
+	x := t.gen.NextAID()
+	s := t.aidShard(x)
+	s.mu.Lock()
+	s.aids[x] = &aidState{id: x, dom: sets.New[*intervalState](), status: Unresolved}
+	s.unresolved++
+	n := len(s.aids)
+	s.mu.Unlock()
+	t.obs.ShardAssumptions(int(t.aidIdx(x)), n)
+	return x
 }
 
-// Stats returns a copy of the activity counters.
+// Stats returns the activity counters summed across shards. The
+// snapshot is advisory, not linearizable: each shard's counters are
+// read under that shard's lock, but shards are visited in turn, so an
+// operation running concurrently may be half-counted. Quiesce first for
+// settled totals (every test and experiment that asserts on Stats does).
 func (t *Tracker) Stats() Stats {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.stats
+	var out Stats
+	for _, s := range t.shards {
+		s.mu.RLock()
+		out.add(s.stats)
+		s.mu.RUnlock()
+	}
+	return out
 }
 
 // Status returns the resolution state of x.
 func (t *Tracker) Status(x ids.AID) Resolution {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	a, ok := t.aids[x]
+	s := t.aidShard(x)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.aids[x]
 	if !ok {
 		return Unresolved
 	}
@@ -282,9 +360,10 @@ func (t *Tracker) Status(x ids.AID) Resolution {
 // Definite reports whether process p currently has no speculative
 // intervals (the paper's Si.I = ∅).
 func (t *Tracker) Definite(p ids.Proc) bool {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	ps, ok := t.procs[p]
+	s := t.procShard(p)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ps, ok := s.procs[p]
 	return ok && len(ps.live) == 0
 }
 
@@ -293,9 +372,10 @@ func (t *Tracker) Definite(p ids.Proc) bool {
 // the process has a pending rollback: a send from a doomed continuation
 // would otherwise escape orphaning by carrying post-rollback tags.
 func (t *Tracker) Tag(p ids.Proc) ([]ids.AID, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	ps, ok := t.procs[p]
+	s := t.procShard(p)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ps, ok := s.procs[p]
 	if !ok {
 		return nil, ErrUnknownProc
 	}
@@ -311,9 +391,7 @@ func (t *Tracker) Tag(p ids.Proc) ([]ids.AID, error) {
 // Orphaned reports whether a message with these tags is an orphan: some
 // transitively resolved tag AID is denied.
 func (t *Tracker) Orphaned(tags []ids.AID) bool {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	_, orphan := t.classifyLocked(tags)
+	_, orphan := t.Settled(tags)
 	return orphan
 }
 
@@ -321,110 +399,190 @@ func (t *Tracker) Orphaned(tags []ids.AID) bool {
 // is definitively affirmed; orphan means some dependency is denied.
 // Neither means the set is still speculative.
 func (t *Tracker) Settled(tags []ids.AID) (settled, orphan bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.classifyLocked(tags)
+	cls := t.classify(tags)
+	return cls.Settled, cls.Orphan
 }
 
-// Epoch returns the current resolution epoch. A TagClass stamped at this
-// epoch remains a faithful classification of its tag set until the value
-// returned here changes (see TagClass.Current for the full rule).
-func (t *Tracker) Epoch() uint64 { return t.epoch.Load() }
+// Epoch returns the global settle sequence number: it advances whenever
+// any settle commit resolves an assumption anywhere. Diagnostics and
+// coarse "did anything settle" checks use it; classification-cache
+// validity uses the per-shard epochs via ClassCurrent instead.
+func (t *Tracker) Epoch() uint64 { return t.settleSeq.Load() }
 
 // TagClass is a memoized classification verdict for one tag set: the
-// (settled, orphan) answer of Settled plus the resolution epoch it was
-// computed at. The zero value is "never classified" and is always stale.
+// (settled, orphan) answer of Settled plus the validity stamp that lets
+// it be revalidated without locks — the set of shards the dependency
+// walk visited (mask) and the sum of those shards' resolution epochs at
+// verdict time (sum). The zero value is "never classified" and is
+// always stale.
 //
-// Receivers keep one TagClass per queued message so repeated queue scans
-// cost one atomic epoch load per message instead of a locked transitive
-// dependency walk.
+// Receivers keep one TagClass per queued message so repeated queue
+// scans cost a few atomic epoch loads per message instead of a locked
+// transitive dependency walk.
 type TagClass struct {
-	// Epoch is the resolution epoch the verdict was computed at (0 =
-	// never).
-	Epoch uint64
+	mask uint64
+	sum  uint64
 	// Settled and Orphan mirror Settled's results; both false means the
-	// tag set was still speculative at Epoch.
+	// tag set was still speculative when classified.
 	Settled bool
 	Orphan  bool
 }
 
-// Current reports whether the verdict is still valid at epoch e.
+// ClassCurrent reports whether the verdict is still valid, using only
+// atomic epoch loads — no locks.
 //
 // A settled verdict is valid forever: settled means every transitive
 // dependency is Affirmed, Affirmed is a terminal resolution, and a
 // SpecAffirmed replacement set is frozen when written — so the walk that
 // produced the verdict would visit the same nodes and find the same
 // terminal statuses at any later epoch. Orphan and speculative verdicts
-// are valid only while the epoch is unchanged: a resolution can settle a
-// speculative set, and an orphan verdict reached through a stale frozen
-// replacement chain can in principle be superseded by the chain's
-// affirmer settling.
-func (c TagClass) Current(e uint64) bool {
-	return c.Epoch != 0 && (c.Settled || c.Epoch == e)
+// are valid while no visited shard's epoch has advanced: epochs are
+// monotone, so the sum over the visited mask is unchanged iff every
+// individual epoch is unchanged, and the walk reads only state homed on
+// visited shards.
+func (t *Tracker) ClassCurrent(c *TagClass) bool {
+	if c.Settled {
+		return true
+	}
+	if c.mask == 0 {
+		return false // zero value: never classified
+	}
+	return t.epochSum(c.mask) == c.sum
 }
 
 // ClassifyCached classifies tags, consulting and refreshing the caller's
 // memoized verdict: when c is still current the answer is returned with a
-// single atomic load and no lock; otherwise the set is classified under
-// the read lock and c is overwritten with the new stamped verdict. The
-// caller must own c (the tracker does not retain it).
+// few atomic loads and no lock; otherwise the set is classified under
+// the home shards' read locks and c is overwritten with the new stamped
+// verdict. The caller must own c (the tracker does not retain it).
 func (t *Tracker) ClassifyCached(tags []ids.AID, c *TagClass) (settled, orphan bool) {
-	if c.Current(t.epoch.Load()) {
+	if t.ClassCurrent(c) {
 		return c.Settled, c.Orphan
 	}
-	t.mu.RLock()
-	e := t.epoch.Load()
-	settled, orphan = t.classifyLocked(tags)
-	t.mu.RUnlock()
-	*c = TagClass{Epoch: e, Settled: settled, Orphan: orphan}
-	return settled, orphan
+	*c = t.classify(tags)
+	return c.Settled, c.Orphan
 }
 
-// Classify classifies every tag set under one read-lock acquisition,
-// writing a stamped verdict into the corresponding out entry. len(out)
-// must be at least len(tagSets). Receivers use it to refresh a whole
-// queue's verdicts in one pass instead of locking per message.
-func (t *Tracker) Classify(tagSets [][]ids.AID, out []TagClass) {
-	t.mu.RLock()
-	e := t.epoch.Load()
-	for i, tags := range tagSets {
-		settled, orphan := t.classifyLocked(tags)
-		out[i] = TagClass{Epoch: e, Settled: settled, Orphan: orphan}
+// classify computes a fresh stamped verdict. The walk runs under read
+// locks of the tag set's home shards, held simultaneously for the whole
+// walk (all acquired in index order); if the walk crosses into an
+// unlocked shard through a spec-affirm replacement chain, it retries
+// under an all-shard read lock. Epoch stamps are loaded while the locks
+// are held, so a writer that later invalidates the verdict must bump an
+// epoch the reader will see.
+func (t *Tracker) classify(tags []ids.AID) TagClass {
+	home := t.tagsMask(tags)
+	t.lockR(home)
+	cls, escaped := t.classifyMasked(tags, home)
+	t.unlockR(home)
+	if !escaped {
+		return cls
 	}
-	t.mu.RUnlock()
+	t.noteEscalation()
+	t.lockR(t.allMask)
+	cls, _ = t.classifyMasked(tags, t.allMask)
+	t.unlockR(t.allMask)
+	return cls
 }
 
-// SetResolutionWatcher installs a callback invoked (outside the tracker
-// lock) after any operation that resolves assumptions or settles
+// classifyMasked runs the classification walk while the shards in
+// locked are held (read or write). escaped=true means the walk reached
+// an AID homed outside locked and the verdict is invalid.
+func (t *Tracker) classifyMasked(tags []ids.AID, locked uint64) (cls TagClass, escaped bool) {
+	w := depWalk{t: t, locked: locked}
+	orphan := false
+	for _, x := range tags {
+		if !w.visit(x) {
+			if w.escaped {
+				return TagClass{}, true
+			}
+			orphan = true
+			break
+		}
+	}
+	cls = TagClass{
+		mask:    w.shards,
+		Settled: !orphan && w.unresolved == 0,
+		Orphan:  orphan,
+	}
+	cls.sum = t.epochSum(cls.mask)
+	return cls, false
+}
+
+// Classify classifies every tag set, acquiring each home shard's read
+// lock at most once for the whole batch, and writes a stamped verdict
+// into the corresponding out entry. len(out) must be at least
+// len(tagSets). Receivers use it to refresh a whole queue's verdicts in
+// one pass instead of locking per message.
+func (t *Tracker) Classify(tagSets [][]ids.AID, out []TagClass) {
+	var home uint64
+	for _, tags := range tagSets {
+		home |= t.tagsMask(tags)
+	}
+	escaped := false
+	t.lockR(home)
+	for i, tags := range tagSets {
+		cls, esc := t.classifyMasked(tags, home)
+		if esc {
+			escaped = true
+			break
+		}
+		out[i] = cls
+	}
+	t.unlockR(home)
+	if !escaped {
+		return
+	}
+	t.noteEscalation()
+	t.lockR(t.allMask)
+	for i, tags := range tagSets {
+		out[i], _ = t.classifyMasked(tags, t.allMask)
+	}
+	t.unlockR(t.allMask)
+}
+
+// SetResolutionWatcher installs a callback invoked (outside all tracker
+// locks) after any operation that resolves assumptions or settles
 // intervals — the signal pessimistic receivers (engine.RecvSettled) wait
 // on.
 func (t *Tracker) SetResolutionWatcher(fn func()) {
-	t.mu.Lock()
-	t.watcher = fn
-	t.mu.Unlock()
+	t.watcher.Store(watcherBox{fn: fn})
 }
 
 // opCtx accumulates the settlement callbacks of one logical operation so
-// they can run after the critical section.
+// they can run after the critical sections, plus the commit bookkeeping
+// of the settle protocol.
 type opCtx struct {
 	notify map[ids.Proc]Hooks
 	after  []func()
-	// resolved marks that some assumption's resolution state changed, so
-	// the resolution watcher must fire (and the epoch must advance).
+	// dirty is the set of shards whose assumptions changed resolution
+	// state in the current critical section; commitCtx bumps their
+	// epochs and clears it.
+	dirty uint64
+	// resolved marks that some assumption's resolution state changed (or
+	// a speculative deny was recorded), so the resolution watcher must
+	// fire.
 	resolved bool
-	// watcher is the resolution watcher captured at operation start,
-	// under the same lock acquisition as the operation itself — finish
-	// never has to re-enter the tracker lock.
+	// watcher is the resolution watcher captured at operation start —
+	// finish never has to touch tracker state.
 	watcher func()
 }
 
-// newOpCtxLocked snapshots the watcher; caller holds t.mu.
-func (t *Tracker) newOpCtxLocked() *opCtx {
-	return &opCtx{notify: make(map[ids.Proc]Hooks), watcher: t.watcher}
+// newOpCtx captures the watcher; needs no lock.
+func (t *Tracker) newOpCtx() *opCtx {
+	box, _ := t.watcher.Load().(watcherBox)
+	return &opCtx{watcher: box.fn}
+}
+
+func (ctx *opCtx) notifyProc(p ids.Proc, h Hooks) {
+	if ctx.notify == nil {
+		ctx.notify = make(map[ids.Proc]Hooks, 2)
+	}
+	ctx.notify[p] = h
 }
 
 // finish delivers rollback notifications and runs queued effects, outside
-// the lock.
+// all locks.
 func (t *Tracker) finish(ctx *opCtx) {
 	for _, h := range ctx.notify {
 		if h != nil {
@@ -439,29 +597,34 @@ func (t *Tracker) finish(ctx *opCtx) {
 	}
 }
 
-// commitLocked seals a mutating operation: if it resolved anything, the
-// resolution epoch advances — still inside the write critical section, so
-// a reader that observes the old epoch is guaranteed the mutation has not
-// happened yet from its lock-ordered point of view.
-func (t *Tracker) commitLocked(ctx *opCtx) {
-	if ctx.resolved {
-		t.epoch.Add(1)
+// setStatus flips a's resolution and maintains the per-shard epoch dirt,
+// the unresolved gauge, and the watcher flag. Caller holds a's home
+// shard write lock (enforced at commit by commitCtx's dirty check).
+func (t *Tracker) setStatus(a *aidState, st Resolution, ctx *opCtx) {
+	idx := t.aidIdx(a.id)
+	if a.status == Unresolved && st != Unresolved {
+		t.shards[idx].unresolved--
 	}
+	a.status = st
+	ctx.dirty |= bit(idx)
+	ctx.resolved = true
 }
 
 // PendingRollback reports whether a rollback target is pending for p.
 func (t *Tracker) PendingRollback(p ids.Proc) bool {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	ps, ok := t.procs[p]
+	s := t.procShard(p)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ps, ok := s.procs[p]
 	return ok && ps.pending != nil
 }
 
 // TakePending pops and returns p's pending rollback target, or nil.
 func (t *Tracker) TakePending(p ids.Proc) *RollbackTarget {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	ps, ok := t.procs[p]
+	s := t.procShard(p)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps, ok := s.procs[p]
 	if !ok || ps.pending == nil {
 		return nil
 	}
@@ -476,8 +639,13 @@ func (t *Tracker) TakePending(p ids.Proc) *RollbackTarget {
 // map only for walks deeper than the common 0–2-tag case, and the
 // unresolved dependencies are collected only when the caller needs them
 // (Guess/Deliver open an interval; classification needs just the count).
+// The walk reads only shards in locked, accumulating the visited-shard
+// mask; reaching an AID homed outside locked sets escaped and aborts.
 type depWalk struct {
 	t          *Tracker
+	locked     uint64
+	shards     uint64
+	escaped    bool
 	seenArr    [16]ids.AID
 	seenN      int
 	seenMap    map[ids.AID]struct{}
@@ -514,13 +682,20 @@ func (w *depWalk) mark(x ids.AID) {
 	w.seenMap[x] = struct{}{}
 }
 
-// visit returns false when it reaches a denied assumption (orphan).
+// visit returns false when it reaches a denied assumption (orphan) or
+// an unlocked shard (escaped; check w.escaped to distinguish).
 func (w *depWalk) visit(x ids.AID) bool {
 	if w.seen(x) {
 		return true
 	}
+	idx := w.t.aidIdx(x)
+	if w.locked&bit(idx) == 0 {
+		w.escaped = true
+		return false
+	}
 	w.mark(x)
-	a, ok := w.t.aids[x]
+	w.shards |= bit(idx)
+	a, ok := w.t.shards[idx].aids[x]
 	if !ok {
 		return true
 	}
@@ -541,50 +716,46 @@ func (w *depWalk) visit(x ids.AID) bool {
 	return true
 }
 
-// classifyLocked computes the (settled, orphan) verdict for tags.
-// Caller holds t.mu (read or write).
-func (t *Tracker) classifyLocked(tags []ids.AID) (settled, orphan bool) {
-	w := depWalk{t: t}
+// resolveDepsMasked expands tags into their unresolved transitive
+// dependencies, reporting orphan when a denied assumption is reached and
+// escape when the walk leaves the locked shard set. The returned slice
+// is freshly built and deduplicated.
+func (t *Tracker) resolveDepsMasked(tags []ids.AID, locked uint64) (deps []ids.AID, orphan, escaped bool) {
+	w := depWalk{t: t, locked: locked, collect: true}
 	for _, x := range tags {
 		if !w.visit(x) {
-			return false, true
+			return nil, !w.escaped, w.escaped
 		}
 	}
-	return w.unresolved == 0, false
+	return w.deps, false, false
 }
 
-// resolveDepsLocked expands tags into their unresolved transitive
-// dependencies, reporting orphan when a denied assumption is reached.
-// The returned slice is freshly built and deduplicated.
-func (t *Tracker) resolveDepsLocked(tags []ids.AID) ([]ids.AID, bool) {
-	w := depWalk{t: t, collect: true}
-	for _, x := range tags {
-		if !w.visit(x) {
-			return nil, true
-		}
-	}
-	return w.deps, false
-}
-
-func (t *Tracker) procLocked(p ids.Proc) (*procState, error) {
-	ps, ok := t.procs[p]
+// procAt returns p's state; caller holds p's home shard lock.
+func (t *Tracker) procAt(p ids.Proc) (*procState, error) {
+	ps, ok := t.procShard(p).procs[p]
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrUnknownProc, p)
 	}
 	return ps, nil
 }
 
-func (t *Tracker) aidLocked(x ids.AID) *aidState {
-	a, ok := t.aids[x]
+// aid returns x's state, creating it Unresolved on first reference.
+// Caller holds x's home shard write lock.
+func (t *Tracker) aid(x ids.AID) *aidState {
+	s := t.aidShard(x)
+	a, ok := s.aids[x]
 	if !ok {
-		a = &aidState{id: x, dom: sets.New[ids.Interval](), status: Unresolved}
-		t.aids[x] = a
+		a = &aidState{id: x, dom: sets.New[*intervalState](), status: Unresolved}
+		s.aids[x] = a
+		s.unresolved++
 	}
 	return a
 }
 
 // openIntervalLocked creates a speculative interval for p (Equations 1–5;
-// the PS checkpoint is the runtime's logIndex).
+// the PS checkpoint is the runtime's logIndex). Caller holds the write
+// locks of ps's shard and of every dep's and inherited dependency's
+// home shard (established by the settle footprint checks).
 func (t *Tracker) openIntervalLocked(ps *procState, logIndex int, implicit bool, deps []ids.AID) *intervalState {
 	iv := &intervalState{
 		id:           t.gen.NextInterval(),
@@ -599,7 +770,7 @@ func (t *Tracker) openIntervalLocked(ps *procState, logIndex int, implicit bool,
 	if t.obs != nil {
 		iv.openedAt = time.Now()
 	}
-	t.intervals[iv.id] = iv
+	t.procShard(ps.id).intervals[iv.id] = iv
 	// Equation 3: inherit the enclosing interval's dependencies.
 	if cur := ps.current(); cur != nil {
 		cur.ido.Range(func(x ids.AID) bool {
@@ -617,29 +788,43 @@ func (t *Tracker) openIntervalLocked(ps *procState, logIndex int, implicit bool,
 // dependLocked maintains the Lemma 5.1 symmetry (Equations 3 and 4).
 func (t *Tracker) dependLocked(iv *intervalState, x ids.AID) {
 	if iv.ido.Add(x) {
-		t.aidLocked(x).dom.Add(iv.id)
+		t.aid(x).dom.Add(iv)
 	}
+}
+
+// fmtIvSet renders a set of intervals as their sorted ids, matching the
+// {A1, A2} style of sets.Set[ids.Interval].String.
+func fmtIvSet(s *sets.Set[*intervalState]) string {
+	out := sets.New[ids.Interval]()
+	s.Range(func(iv *intervalState) bool {
+		out.Add(iv.id)
+		return true
+	})
+	return out.String()
 }
 
 // DebugDump renders the full dependency state — every unresolved or
 // interesting assumption with its DOM, and every live interval with its
-// IDO — for diagnosing wedged systems. Diagnostic use only.
+// IDO — for diagnosing wedged systems. Diagnostic use only; takes an
+// all-shard read lock.
 func (t *Tracker) DebugDump() string {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.lockR(t.allMask)
+	defer t.unlockR(t.allMask)
 	var b []byte
 	add := func(s string) { b = append(b, s...) }
-	aids := make([]ids.AID, 0, len(t.aids))
-	for id := range t.aids {
-		aids = append(aids, id)
+	var aids []ids.AID
+	for _, s := range t.shards {
+		for id := range s.aids {
+			aids = append(aids, id)
+		}
 	}
 	sort.Slice(aids, func(i, j int) bool { return aids[i] < aids[j] })
 	for _, id := range aids {
-		a := t.aids[id]
+		a := t.aidShard(id).aids[id]
 		if a.status == Affirmed && a.dom.Empty() {
 			continue // committed and drained: boring
 		}
-		add(fmt.Sprintf("  %v: %v dom=%v", a.id, a.status, a.dom))
+		add(fmt.Sprintf("  %v: %v dom=%v", a.id, a.status, fmtIvSet(a.dom)))
 		if a.status == SpecAffirmed {
 			add(fmt.Sprintf(" affirmer=%v repl=%v", a.affirmer, a.replacement))
 		}
@@ -648,13 +833,15 @@ func (t *Tracker) DebugDump() string {
 		}
 		add("\n")
 	}
-	procs := make([]ids.Proc, 0, len(t.procs))
-	for id := range t.procs {
-		procs = append(procs, id)
+	var procs []ids.Proc
+	for _, s := range t.shards {
+		for id := range s.procs {
+			procs = append(procs, id)
+		}
 	}
 	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
 	for _, id := range procs {
-		ps := t.procs[id]
+		ps := t.procShard(id).procs[id]
 		if len(ps.live) == 0 {
 			continue
 		}
@@ -676,46 +863,53 @@ func (t *Tracker) DebugDump() string {
 //   - every live interval is speculative with a non-empty IDO
 //     (Equation 20's contrapositive);
 //   - per-process live chains have subset-ordered IDO sets (the heart of
-//     Theorem 5.1).
+//     Theorem 5.1);
+//   - sharding integrity: every interval is stored in its process's
+//     shard, and every DOM entry points at a registered interval.
 //
-// Intended for tests and diagnostics; takes the tracker lock.
+// Intended for tests and diagnostics; takes an all-shard read lock.
 func (t *Tracker) CheckInvariants() error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.lockR(t.allMask)
+	defer t.unlockR(t.allMask)
 
-	for _, iv := range t.intervals {
-		if iv.status != speculative {
-			return fmt.Errorf("retained interval %v has status %d", iv.id, iv.status)
-		}
-		if iv.ido.Empty() {
-			return fmt.Errorf("speculative interval %v has empty IDO (Equation 20)", iv.id)
-		}
-		for _, x := range iv.ido.Elems() {
-			a, ok := t.aids[x]
-			if !ok || !a.dom.Has(iv.id) {
-				return fmt.Errorf("lemma 5.1: %v ∈ %v.IDO but %v ∉ %v.DOM", x, iv.id, iv.id, x)
+	for si, s := range t.shards {
+		for _, iv := range s.intervals {
+			if uint64(si) != t.procIdx(iv.proc) {
+				return fmt.Errorf("interval %v of %v stored in shard %d, home is %d",
+					iv.id, iv.proc, si, t.procIdx(iv.proc))
+			}
+			if iv.status != speculative {
+				return fmt.Errorf("retained interval %v has status %d", iv.id, iv.status)
+			}
+			if iv.ido.Empty() {
+				return fmt.Errorf("speculative interval %v has empty IDO (Equation 20)", iv.id)
+			}
+			for _, x := range iv.ido.Elems() {
+				a, ok := t.aidShard(x).aids[x]
+				if !ok || !a.dom.Has(iv) {
+					return fmt.Errorf("lemma 5.1: %v ∈ %v.IDO but %v ∉ %v.DOM", x, iv.id, iv.id, x)
+				}
 			}
 		}
-	}
-	for _, a := range t.aids {
-		if a.status != Unresolved && !a.dom.Empty() {
-			return fmt.Errorf("resolved %v (%v) retains DOM %v", a.id, a.status, a.dom)
-		}
-		for _, ivID := range a.dom.Elems() {
-			iv, ok := t.intervals[ivID]
-			if !ok {
-				return fmt.Errorf("%v.DOM references unknown interval %v", a.id, ivID)
+		for _, a := range s.aids {
+			if a.status != Unresolved && !a.dom.Empty() {
+				return fmt.Errorf("resolved %v (%v) retains DOM %v", a.id, a.status, fmtIvSet(a.dom))
 			}
-			if !iv.ido.Has(a.id) {
-				return fmt.Errorf("lemma 5.1: %v ∈ %v.DOM but %v ∉ %v.IDO", ivID, a.id, a.id, ivID)
+			for _, iv := range a.dom.Elems() {
+				if t.procShard(iv.proc).intervals[iv.id] != iv {
+					return fmt.Errorf("%v.DOM references unregistered interval %v", a.id, iv.id)
+				}
+				if !iv.ido.Has(a.id) {
+					return fmt.Errorf("lemma 5.1: %v ∈ %v.DOM but %v ∉ %v.IDO", iv.id, a.id, a.id, iv.id)
+				}
 			}
 		}
-	}
-	for _, ps := range t.procs {
-		for i := 1; i < len(ps.live); i++ {
-			prev, cur := ps.live[i-1], ps.live[i]
-			if !prev.ido.SubsetOf(cur.ido) {
-				return fmt.Errorf("theorem 5.1: %v.IDO ⊄ %v.IDO in %v", prev.id, cur.id, ps.id)
+		for _, ps := range s.procs {
+			for i := 1; i < len(ps.live); i++ {
+				prev, cur := ps.live[i-1], ps.live[i]
+				if !prev.ido.SubsetOf(cur.ido) {
+					return fmt.Errorf("theorem 5.1: %v.IDO ⊄ %v.IDO in %v", prev.id, cur.id, ps.id)
+				}
 			}
 		}
 	}
@@ -724,7 +918,7 @@ func (t *Tracker) CheckInvariants() error {
 
 // WasFinalized reports whether iv was made definite at some point.
 func (t *Tracker) WasFinalized(iv ids.Interval) bool {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.finalMu.Lock()
+	defer t.finalMu.Unlock()
 	return t.finalizedIvs[iv]
 }

@@ -1,0 +1,28 @@
+#!/bin/sh
+# benchguard.sh — the performance-regression guard: regenerate the
+# experiment suite with hopebench -json and compare its headline
+# metrics (epoch-cache speedup, sharded-tracker scaling ratio, the
+# deterministic §3.1 virtual-time throughput) against the committed
+# BENCH_runtime.json baseline. Exits 1 if any headline metric regressed
+# past its per-metric threshold (see cmd/benchguard).
+#
+#   ./scripts/benchguard.sh [report-out.json]
+#
+# The optional argument names the comparison-artifact path (default
+# benchguard-report.json in the repo root). Shared machines are noisy;
+# treat a failure as a prompt to re-run and investigate, and only
+# record a new baseline (cp the fresh report over BENCH_runtime.json)
+# from a quiet machine after scripts/check.sh passes.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-benchguard-report.json}"
+fresh="$(mktemp)"
+trap 'rm -f "$fresh"' EXIT
+
+echo "== hopebench -json (regenerating experiment suite)"
+go run ./cmd/hopebench -json > "$fresh"
+
+echo "== benchguard vs committed BENCH_runtime.json"
+go run ./cmd/benchguard -baseline BENCH_runtime.json -current "$fresh" \
+	-out "$out"
