@@ -7,8 +7,9 @@
 //
 // The headline set is the small list of metrics the roadmap tracks —
 // the epoch-cache speedup (E11), the sharded-tracker scaling ratio
-// (E11b), and the deterministic §3.1 virtual-time throughput (E2) —
-// extracted by name from the rendered experiment tables. Ratios rather
+// (E11b), the deterministic §3.1 virtual-time throughput (E2), and the
+// checkpointed-recovery flatness ratio (E4b) — extracted by name from
+// the rendered experiment tables. Ratios rather
 // than raw throughputs wherever the measurement is wall-clock: machine
 // speed cancels in a ratio, and each metric carries its own threshold
 // sized to its noise floor.
@@ -80,6 +81,13 @@ var headline = []metric{
 	{Name: "e11b.shard_scaling_10k", Exp: "E11", Table: "E11b:",
 		Match: map[string]string{"procs": "10000", "shards": "64"}, Col: "vs 1 shard",
 		HigherIsBetter: true, ThresholdPct: 60},
+	// Checkpointed recovery cost, deepest vs shallowest history bucket.
+	// Flat (~1.1–1.3x) while restore works; a broken restore degrades to
+	// the full-replay ratio (~12x), far past any noise. The wide
+	// threshold tolerates the µs-scale settle-time jitter in the ratio.
+	{Name: "e4b.rollback_cost_flatness", Exp: "E4", Table: "E4b summary",
+		Match: map[string]string{"metric": "cp_flatness"}, Col: "value",
+		HigherIsBetter: false, ThresholdPct: 100},
 }
 
 // table is one parsed markdown table from an experiment's rendered

@@ -51,6 +51,7 @@ func main() {
 		showSh   = flag.Bool("shards", false, "print the per-shard tracker table (assumptions, epoch, heap)")
 		list     = flag.Bool("list", false, "list workloads and experiments")
 		faultStr = flag.String("faults", "", "chaos mode: fault spec, e.g. seed=7,crash=0.02,drop=0.1,dup=0.05,delay=0.2,stall=0.1")
+		cpEvery  = flag.Int("cpevery", 0, "checkpoint Loop processes every K logged events (0 = off); rollbacks resume from the newest checkpoint")
 	)
 	flag.Parse()
 
@@ -96,6 +97,9 @@ func main() {
 	opts := []engine.Option{engine.WithObserver(o)}
 	if plan != nil {
 		opts = append(opts, engine.WithFaults(plan))
+	}
+	if *cpEvery > 0 {
+		opts = append(opts, engine.WithCheckpointEvery(*cpEvery))
 	}
 	done := make(chan struct{})
 	var (

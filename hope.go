@@ -54,6 +54,19 @@
 // correct program's committed output is byte-identical with and without
 // faults. See internal/fault and DESIGN.md.
 //
+// # Checkpointing
+//
+// Rollback and crash recovery normally re-execute a body from the top,
+// replaying its whole retained log. Proc.Checkpoint(state) records a
+// recovery point inside the log: recovery restores from the newest
+// checkpoint before the rollback target and replays only the suffix.
+// WithCheckpointEvery(k) does this automatically for Loop processes.
+// The state passed to Checkpoint must be a self-contained, deep-copied
+// snapshot — it is handed back verbatim by Proc.Restored on the next
+// attempt, so state that aliases memory mutated later would corrupt the
+// recovery point (hopevet's escape pass flags this). A body that calls
+// Checkpoint must consult Restored before its first logged operation.
+//
 // # Writing processes
 //
 // A process body is a function of a *Proc handle. All nondeterminism must
@@ -146,8 +159,10 @@ var ErrStopLoop = engine.ErrStopLoop
 // body is structured as repeated steps over explicit state, and whenever
 // the process is definite at a step boundary the engine snapshots the
 // state and discards the settled log prefix, so rollback replays only the
-// speculation window since the last snapshot. init builds the initial
-// state, clone must deep-copy it, and step follows the usual
+// speculation window since the last snapshot. With WithCheckpointEvery,
+// long speculation windows are additionally checkpointed on a cadence,
+// bounding recovery cost in the window length too. init builds the
+// initial state, clone must deep-copy it, and step follows the usual
 // piecewise-determinism contract. See engine.Loop.
 func Loop[S any](rt *Runtime, name string, init func() S, clone func(S) S, step func(*Proc, S) error) error {
 	return engine.Loop(rt, name, init, clone, step)
@@ -218,6 +233,17 @@ func ParseFaults(spec string) (*FaultPlan, error) { return fault.Parse(spec) }
 // and delayed, and resolutions stall — all deterministically from the
 // plan's seed. Committed output is unaffected for correct programs.
 func WithFaults(p *FaultPlan) Option { return engine.WithFaults(p) }
+
+// WithCheckpointEvery arms automatic checkpointing for Loop processes:
+// once k logged events accumulate past a process's last checkpoint while
+// speculation keeps its log alive, the next step boundary checkpoints
+// the loop state, so a deep rollback or crash recovery restores a
+// recent step and replays at most ~k events instead of the whole
+// window. k <= 0 (the default) disables automatic checkpoints; explicit
+// Proc.Checkpoint calls work either way. Checkpoints never change
+// committed output — only recovery cost. See the Checkpointing section
+// of the package documentation for the state-capture contract.
+func WithCheckpointEvery(k int) Option { return engine.WithCheckpointEvery(k) }
 
 // RetryPolicy bounds Proc.SendRetry: up to Attempts tries with linear
 // backoff (i×Backoff before try i).

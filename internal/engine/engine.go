@@ -108,6 +108,18 @@ func WithShards(n int) Option { return func(r *Runtime) { r.shardCfg = n } }
 // runtimes — its per-site counters are part of the schedule.
 func WithFaults(p *fault.Plan) Option { return func(r *Runtime) { r.faults = p } }
 
+// WithCheckpointEvery arms automatic checkpointing for Loop processes:
+// once a process accumulates k logged events past its last checkpoint
+// (or compaction) while speculation keeps the log alive, the next step
+// boundary records a checkpoint of the loop state. Rollback and crash
+// recovery then restore from the newest checkpoint preceding the
+// target and replay only the suffix, bounding re-execution cost at
+// roughly k events regardless of history length. k <= 0 (the default)
+// disables automatic checkpoints; explicit Proc.Checkpoint calls work
+// either way. Checkpoints are replay-log entries, so toggling this
+// option never changes committed output — only recovery cost.
+func WithCheckpointEvery(k int) Option { return func(r *Runtime) { r.cpEvery = k } }
+
 // Runtime hosts one distributed HOPE program: a set of named processes,
 // their mailboxes, and the shared dependency tracker.
 type Runtime struct {
@@ -138,6 +150,10 @@ type Runtime struct {
 	scheds    []*sched
 	schedMask uint64
 	shardCfg  int
+
+	// cpEvery is the automatic-checkpoint cadence for Loop processes
+	// (0 = off); see WithCheckpointEvery.
+	cpEvery int
 
 	seq atomic.Uint64
 }
@@ -567,8 +583,8 @@ func (r *Runtime) DebugString() string {
 		waiting := p.waitPred != nil
 		waitSettled := p.waitSettled
 		p.mu.Unlock()
-		fmt.Fprintf(&b, "  %-14s %-8v queue=%d (settled=%d spec=%d orphan=%d) log=%d replay=%d pred=%v settledWait=%v pending=%v live=%d\n",
-			names[i], phase, qlen, settled, spec, orphan, loglen, replay, waiting, waitSettled,
+		fmt.Fprintf(&b, "  %-14s %-8v queue=%d (settled=%d spec=%d orphan=%d) log=%d replay=%d restarts=%d resumes=%d pred=%v settledWait=%v pending=%v live=%d\n",
+			names[i], phase, qlen, settled, spec, orphan, loglen, replay, p.Restarts(), p.Resumes(), waiting, waitSettled,
 			r.tr.PendingRollback(p.id), r.tr.LiveIntervals(p.id))
 	}
 	return b.String()

@@ -95,16 +95,18 @@ const (
 	entryRand
 	entryOutcome
 	entryTimeout
+	entryCheckpoint
 )
 
 // entry is one replay-log record.
 type entry struct {
-	kind entryKind
-	aid  ids.AID
-	ok   bool         // guess result / resolution success
-	msg  *rmsg        // for entryRecv
-	iv   ids.Interval // for entryRecv: the implicit interval, if any
-	val  int64        // for entryRand
+	kind  entryKind
+	aid   ids.AID
+	ok    bool         // guess result / resolution success
+	msg   *rmsg        // for entryRecv
+	iv    ids.Interval // for entryRecv: the implicit interval, if any
+	val   int64        // for entryRand
+	state any          // for entryCheckpoint: the captured user state
 }
 
 // Proc is the handle a process body uses for every interaction with the
@@ -144,16 +146,37 @@ type Proc struct {
 	log     []entry
 	replay  int
 	rng     *rand.Rand
+	// replayStart is where the current attempt's replay cursor began —
+	// after a checkpoint restore it is the entry after the checkpoint, so
+	// KReplayed reports only the suffix actually re-consumed.
+	replayStart int
+	// lastCp is the log index just past the most recent checkpoint (or 0
+	// after compaction): the cadence origin for checkpointDue.
+	lastCp int
+	// crashed marks that the previous attempt ended in an injected crash
+	// (read and cleared by applyPending on the next attempt).
+	crashed bool
+	// restoredState/hasRestored hand the newest surviving checkpoint's
+	// state to the next attempt; Restored consumes them.
+	restoredState any
+	hasRestored   bool
 
 	restarts atomic.Int32
+	resumes  atomic.Int32
 }
 
 // Name returns the process name.
 func (p *Proc) Name() string { return p.name }
 
-// Restarts reports how many times the body has been re-executed by
-// rollback.
+// Restarts reports how many times the body has been re-executed from
+// scratch — a rollback or crash recovery with no surviving checkpoint,
+// replaying the whole retained log.
 func (p *Proc) Restarts() int { return int(p.restarts.Load()) }
+
+// Resumes reports how many times a rollback or crash recovery restored
+// the body from a checkpoint instead, replaying only the log suffix
+// after it.
+func (p *Proc) Resumes() int { return int(p.resumes.Load()) }
 
 // Err returns the body's final error (after Wait).
 func (p *Proc) Err() error {
@@ -350,7 +373,6 @@ func (p *Proc) wake() {
 // rollback, until it completes definitively (or fatally).
 func (p *Proc) loop() {
 	for p.attempt() {
-		p.restarts.Add(1)
 	}
 	p.toState(stateDone)
 }
@@ -365,6 +387,7 @@ func (p *Proc) attempt() (restart bool) {
 		case rollbackSignal:
 			restart = true
 		case crashSignal:
+			p.crashed = true
 			restart = true
 		case fatalSignal:
 			p.mu.Lock()
@@ -386,13 +409,22 @@ func (p *Proc) attempt() (restart bool) {
 // an explicit guess entry is kept and rewritten to return false; an
 // implicit (receive) entry is dropped so the receive re-executes.
 // Messages consumed in the discarded suffix return to the front of the
-// queue; orphans among them are filtered at the next delivery.
+// queue; orphans among them are filtered at the next delivery. The next
+// attempt then resumes from the newest checkpoint surviving the cut —
+// replaying only the suffix after it — or from the top of the retained
+// log when none does.
 func (p *Proc) applyPending() {
 	tgtp := p.rt.tr.TakePending(p.id)
+	crashed := p.crashed
+	p.crashed = false
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.restoredState, p.hasRestored = nil, false
 	if tgtp == nil {
-		p.replay = 0
+		// No rollback target: the first attempt, or an injected crash.
+		// A crash truncates nothing — the whole retained log replays,
+		// short-circuited by the newest checkpoint if one exists.
+		p.resumeLocked(crashed)
 		return
 	}
 	tgt := *tgtp
@@ -423,11 +455,38 @@ func (p *Proc) applyPending() {
 	}
 	p.log = p.log[:cut]
 	p.queue = append(requeue, p.queue...)
-	p.replay = 0
-	if len(p.log) == 0 {
-		// Nothing survived the cut: the attempt restarts from scratch with
-		// no replay phase, so record the zero-depth replay here (next()
-		// never fires for an empty log).
+	p.resumeLocked(true)
+}
+
+// resumeLocked positions the replay cursor for the next attempt: just
+// past the newest checkpoint retained in the log, stashing its state
+// for Restored, or at the top when no checkpoint survives. counted
+// marks a genuine re-execution (rollback or crash recovery) for the
+// Resumes/Restarts split; the first attempt is neither. Caller holds
+// p.mu.
+func (p *Proc) resumeLocked(counted bool) {
+	k := -1
+	for i := len(p.log) - 1; i >= 0; i-- {
+		if p.log[i].kind == entryCheckpoint {
+			k = i
+			break
+		}
+	}
+	p.replay = k + 1
+	p.replayStart = k + 1
+	p.lastCp = k + 1
+	if k >= 0 {
+		p.restoredState, p.hasRestored = p.log[k].state, true
+		if counted {
+			p.resumes.Add(1)
+		}
+		p.rt.obs.Emit(obs.KRestored, p.id, ids.NoAID, ids.NoInterval, int64(k+1))
+	} else if counted {
+		p.restarts.Add(1)
+	}
+	if counted && p.replay == len(p.log) {
+		// Nothing to replay past the restore point: record the zero-depth
+		// replay here (next() never fires when the suffix is empty).
 		p.rt.obs.Emit(obs.KReplayed, p.id, ids.NoAID, ids.NoInterval, 0)
 	}
 }
@@ -501,7 +560,7 @@ func (p *Proc) next(kind entryKind, aid ids.AID) entry {
 	}
 	p.replay++
 	if p.replay == len(p.log) {
-		p.rt.obs.Emit(obs.KReplayed, p.id, ids.NoAID, ids.NoInterval, int64(len(p.log)))
+		p.rt.obs.Emit(obs.KReplayed, p.id, ids.NoAID, ids.NoInterval, int64(len(p.log)-p.replayStart))
 	}
 	return e
 }
@@ -915,6 +974,73 @@ func (p *Proc) Definite() bool {
 	return p.rt.tr.Definite(p.id)
 }
 
+// Checkpoint records state as a recovery point in the replay log: a
+// later rollback or crash recovery whose target lies after this entry
+// restores from it — the next attempt begins with Restored returning
+// state and replays only the log suffix recorded after the checkpoint —
+// instead of re-executing the body from the top. Checkpoints recorded
+// after a rollback's target are truncated with the rest of the doomed
+// suffix, exactly like any other logged event.
+//
+// The state-capture contract: state must be a self-contained snapshot —
+// own every byte it references (deep-copy anything shared or mutated
+// later), and together with the replayed suffix it must reconstruct
+// exactly what full re-execution would. A body that calls Checkpoint
+// must check Restored at its top; hopevet's escape pass flags
+// checkpointed state that aliases memory declared outside the body.
+func (p *Proc) Checkpoint(state any) {
+	p.checkPending()
+	if p.replaying() {
+		// Lockstep: the live run checkpointed here, so the replayed run
+		// consumes the entry at the same point. The recorded state stays
+		// authoritative; the argument is discarded.
+		p.next(entryCheckpoint, ids.NoAID)
+		p.lastCp = p.replay
+		return
+	}
+	p.record(entry{kind: entryCheckpoint, state: state})
+	p.lastCp = len(p.log)
+	p.rt.obs.Emit(obs.KCheckpoint, p.id, ids.NoAID, ids.NoInterval, checkpointSize(p.rt.obs, state))
+	p.checkPending()
+}
+
+// checkpointSize approximates a checkpoint's footprint for the obs
+// counters (bytes of the rendered state). Skipped when no observer is
+// attached — rendering arbitrary state is not free.
+func checkpointSize(o *obs.Observer, state any) int64 {
+	if o == nil {
+		return 0
+	}
+	return int64(len(fmt.Sprintf("%v", state)))
+}
+
+// Restored reports whether this attempt resumed from a checkpoint and,
+// if so, returns the checkpointed state. It must be called at the top
+// of the body, before any logged operation: a restored attempt's replay
+// cursor sits just past the checkpoint, so the body must jump to the
+// matching point in its control flow before touching the runtime (a
+// mismatch fails loudly with ErrNondeterministic). The returned state is
+// the recorded snapshot itself — treat it as the body's new owned state.
+// Consuming it clears the flag.
+func (p *Proc) Restored() (any, bool) {
+	st, ok := p.restoredState, p.hasRestored
+	p.restoredState, p.hasRestored = nil, false
+	return st, ok
+}
+
+// checkpointDue reports whether an automatic checkpoint should be taken
+// at this step boundary (engine.Loop consults it between steps). During
+// replay the log dictates the answer — live and replayed executions
+// must checkpoint at identical points — and live execution checkpoints
+// once the configured number of events accumulates past the last
+// checkpoint or compaction.
+func (p *Proc) checkpointDue() bool {
+	if p.replaying() {
+		return p.log[p.replay].kind == entryCheckpoint
+	}
+	return p.rt.cpEvery > 0 && len(p.log)-p.lastCp >= p.rt.cpEvery
+}
+
 // compact discards the settled replay-log prefix. Preconditions (enforced
 // by Loop, the only caller): the process is definite — no live intervals,
 // so no rollback can target the discarded history — and the caller is the
@@ -925,13 +1051,17 @@ func (p *Proc) compact() {
 	p.logBase += len(p.log)
 	p.log = p.log[:0]
 	p.replay = 0
+	p.replayStart = 0
+	p.lastCp = 0
 	p.mu.Unlock()
 }
 
 // Compactable reports whether the process may compact right now: it is
-// definite with no pending rollback. Called from the process goroutine;
-// the answer cannot be invalidated concurrently because speculation
-// enters only through this process's own calls.
+// definite with no pending rollback, and not mid-replay — compacting
+// during replay would discard the un-replayed suffix and re-execute
+// operations (sends, resolutions) that already happened. Called from
+// the process goroutine; the answer cannot be invalidated concurrently
+// because speculation enters only through this process's own calls.
 func (p *Proc) compactable() bool {
-	return !p.rt.tr.PendingRollback(p.id) && p.rt.tr.Definite(p.id)
+	return !p.replaying() && !p.rt.tr.PendingRollback(p.id) && p.rt.tr.Definite(p.id)
 }

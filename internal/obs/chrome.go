@@ -127,6 +127,16 @@ func (o *Observer) WriteChromeTrace(w io.Writer) error {
 				Name: fmt.Sprintf("replayed %d entries", e.N), Cat: "rollback",
 				Phase: "i", TS: us(e.T), PID: chromePID, TID: tid, Scope: "t",
 			})
+		case KCheckpoint:
+			add(chromeEvent{
+				Name: fmt.Sprintf("checkpoint (~%dB)", e.N), Cat: "rollback",
+				Phase: "i", TS: us(e.T), PID: chromePID, TID: tid, Scope: "t",
+			})
+		case KRestored:
+			add(chromeEvent{
+				Name: fmt.Sprintf("restored, skipped %d entries", e.N), Cat: "rollback",
+				Phase: "i", TS: us(e.T), PID: chromePID, TID: tid, Scope: "t",
+			})
 		case KOrphanDropped:
 			add(chromeEvent{
 				Name: "orphan dropped", Cat: "delivery",

@@ -97,6 +97,13 @@ const (
 	// KDupSuppressed: the per-link duplicate filter dropped an
 	// already-delivered message copy.
 	KDupSuppressed
+	// KCheckpoint: a process recorded a checkpoint entry in its replay
+	// log (N = approximate captured-state bytes).
+	KCheckpoint
+	// KRestored: a rollback or crash recovery resumed a process from its
+	// newest surviving checkpoint instead of replaying the whole log
+	// (N = log entries skipped by the restore).
+	KRestored
 )
 
 // String names the kind in lifecycle vocabulary.
@@ -146,6 +153,10 @@ func (k Kind) String() string {
 		return "fault-stall"
 	case KDupSuppressed:
 		return "dup-suppressed"
+	case KCheckpoint:
+		return "checkpoint"
+	case KRestored:
+		return "restored"
 	default:
 		return "invalid"
 	}

@@ -120,6 +120,11 @@ type Metrics struct {
 	EffectsRun     atomic.Int64 // commit callbacks released
 	EffectsAborted atomic.Int64 // abort compensations run
 
+	// Checkpointing.
+	Checkpoints     atomic.Int64 // checkpoint entries recorded in replay logs
+	CheckpointBytes atomic.Int64 // approximate captured-state bytes, total
+	Resumes         atomic.Int64 // recoveries restored from a checkpoint
+
 	// Delivery and scheduling.
 	MsgsEnqueued  atomic.Int64
 	MaxQueueDepth atomic.Int64 // deepest single-process mailbox observed
@@ -151,15 +156,19 @@ type Metrics struct {
 
 	// SpecLifetime is guess→resolution latency (ns), observed at both
 	// commit and rollback. ReplayDepth is log entries replayed per
-	// rollback.
+	// rollback. RestoreDepth is log entries *skipped* per
+	// checkpoint-restored recovery — how much re-execution each
+	// checkpoint saved.
 	SpecLifetime *Histogram
 	ReplayDepth  *Histogram
+	RestoreDepth *Histogram
 }
 
 func newMetrics() *Metrics {
 	return &Metrics{
 		SpecLifetime: newHistogram(specLifetimeBounds...),
 		ReplayDepth:  newHistogram(replayDepthBounds...),
+		RestoreDepth: newHistogram(replayDepthBounds...),
 	}
 }
 
@@ -184,6 +193,10 @@ type MetricsSnapshot struct {
 	ReplayedEnts   int64 `json:"replayed_entries"`
 	EffectsRun     int64 `json:"effects_released"`
 	EffectsAborted int64 `json:"effects_aborted"`
+
+	Checkpoints     int64 `json:"checkpoints"`
+	CheckpointBytes int64 `json:"checkpoint_bytes"`
+	Resumes         int64 `json:"resumes"`
 
 	MsgsEnqueued  int64 `json:"msgs_enqueued"`
 	MaxQueueDepth int64 `json:"max_queue_depth"`
@@ -210,6 +223,7 @@ type MetricsSnapshot struct {
 
 	SpecLifetime HistogramSnapshot `json:"spec_lifetime_ns"`
 	ReplayDepth  HistogramSnapshot `json:"replay_depth"`
+	RestoreDepth HistogramSnapshot `json:"restore_depth"`
 }
 
 // shardSlice copies a per-shard gauge array, trimmed to the highest
@@ -251,6 +265,10 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		EffectsRun:     m.EffectsRun.Load(),
 		EffectsAborted: m.EffectsAborted.Load(),
 
+		Checkpoints:     m.Checkpoints.Load(),
+		CheckpointBytes: m.CheckpointBytes.Load(),
+		Resumes:         m.Resumes.Load(),
+
 		MsgsEnqueued:  m.MsgsEnqueued.Load(),
 		MaxQueueDepth: m.MaxQueueDepth.Load(),
 		MaxSchedHeap:  m.MaxSchedHeap.Load(),
@@ -274,5 +292,6 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 
 		SpecLifetime: m.SpecLifetime.Snapshot(),
 		ReplayDepth:  m.ReplayDepth.Snapshot(),
+		RestoreDepth: m.RestoreDepth.Snapshot(),
 	}
 }

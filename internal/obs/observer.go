@@ -161,6 +161,12 @@ func (o *Observer) emit(e Event) {
 		o.m.FaultStalls.Add(1)
 	case KDupSuppressed:
 		o.m.DupSuppressed.Add(1)
+	case KCheckpoint:
+		o.m.Checkpoints.Add(1)
+		o.m.CheckpointBytes.Add(e.N)
+	case KRestored:
+		o.m.Resumes.Add(1)
+		o.m.RestoreDepth.Observe(e.N)
 	}
 	if o.ring != nil {
 		e.Seq = o.seq.Add(1)
@@ -314,6 +320,10 @@ func (o *Observer) Dump() string {
 	fmt.Fprintf(&b, "  intervals:   committed=%d rolled-back=%d\n", m.Committed, m.RolledBack)
 	fmt.Fprintf(&b, "  rollbacks:   applied=%d replayed-entries=%d max-replay-depth=%d\n",
 		m.Rollbacks, m.ReplayedEnts, m.ReplayDepth.Max)
+	if m.Checkpoints > 0 || m.Resumes > 0 {
+		fmt.Fprintf(&b, "  checkpoints: taken=%d bytes=%d resumes=%d restore-skip(max)=%d\n",
+			m.Checkpoints, m.CheckpointBytes, m.Resumes, m.RestoreDepth.Max)
+	}
 	fmt.Fprintf(&b, "  effects:     released=%d aborted=%d\n", m.EffectsRun, m.EffectsAborted)
 	fmt.Fprintf(&b, "  delivery:    enqueued=%d max-queue=%d max-sched-heap=%d\n",
 		m.MsgsEnqueued, m.MaxQueueDepth, m.MaxSchedHeap)

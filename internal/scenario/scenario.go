@@ -60,6 +60,12 @@ func All() []Spec {
 			DefaultScale: 24,
 			Run:          Storm,
 		},
+		{
+			Name:         "journal",
+			Desc:         "checkpoint oracle: long speculation windows, self-denied batches; scale = windows per worker",
+			DefaultScale: 6,
+			Run:          Journal,
+		},
 	}
 }
 

@@ -19,6 +19,9 @@ type stormClaim struct {
 // enough that no realistic drop rate exhausts it.
 var stormRetry = engine.RetryPolicy{Attempts: 64, Backoff: 50 * time.Microsecond}
 
+// stormCursor is a worker's loop state: the next job index.
+type stormCursor struct{ J int }
+
 // Storm is the fault-injection oracle workload: W workers each run
 // `scale` jobs, speculating on a per-job assumption that a judge resolves
 // by content — job (w, j) is denied exactly when (w+j)%4 == 0 — while a
@@ -45,11 +48,21 @@ func Storm(jobs int, opts ...engine.Option) (Result, error) {
 	rt := engine.New(append([]engine.Option{engine.WithOutput(io.Discard)}, opts...)...)
 	defer rt.Shutdown()
 
+	// Workers are Loop processes — one job per step over an explicit
+	// cursor — so their replay logs compact at settled job boundaries
+	// and, under WithCheckpointEvery, crash recovery mid-job restores
+	// from a checkpoint instead of replaying the job from its start.
 	for w := 0; w < workers; w++ {
 		w := w
 		name := fmt.Sprintf("worker%d", w)
-		if err := rt.Spawn(name, func(p *engine.Proc) error {
-			for j := 0; j < jobs; j++ {
+		if err := engine.Loop(rt, name,
+			func() *stormCursor { return &stormCursor{} },
+			func(s *stormCursor) *stormCursor { c := *s; return &c },
+			func(p *engine.Proc, s *stormCursor) error {
+				if s.J >= jobs {
+					return engine.ErrStopLoop
+				}
+				j := s.J
 				x := p.NewAID()
 				// Sent while definite: the judge never inherits
 				// speculation from a claim.
@@ -69,9 +82,9 @@ func Storm(jobs int, opts ...engine.Option) (Result, error) {
 				if _, err := p.Recv(); err != nil {
 					return err
 				}
-			}
-			return nil
-		}); err != nil {
+				s.J++
+				return nil
+			}); err != nil {
 			return Result{}, err
 		}
 	}

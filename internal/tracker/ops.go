@@ -2,6 +2,7 @@ package tracker
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"hope/internal/ids"
@@ -569,32 +570,32 @@ func (t *Tracker) forceDiscard(p ids.Proc, ctx *opCtx) bool {
 // of a swept assumption are treated as stale re-executions, not
 // conflicts.
 //
-// Candidates are collected from every shard and swept in ascending
+// Candidates are collected from every shard in parallel — one goroutine
+// per shard under that shard's read lock, since candidate scans touch
+// only shard-local state — then merged and swept in ascending
 // identifier order, so the sweep sequence — and therefore the cascade
-// order and the emitted event stream — is independent of the shard
-// count. Each sweep is its own settle; processes are quiesced by the
-// caller, so no settle observes the drain half-done in a way that
-// matters, and the rollback notifications and effects run once at the
-// end like the old single-critical-section drain. Returns the number of
-// drain actions taken (assumptions denied plus interval chains
-// force-discarded); zero means the tracker was already fully settled and
-// no rollback was issued.
+// order and the emitted event stream — is independent of both the shard
+// count and the collection interleaving. Each sweep is its own settle;
+// processes are quiesced by the caller, so no settle observes the drain
+// half-done in a way that matters, and the rollback notifications and
+// effects run once at the end like the old single-critical-section
+// drain. Returns the number of drain actions taken (assumptions denied
+// plus interval chains force-discarded); zero means the tracker was
+// already fully settled and no rollback was issued.
 func (t *Tracker) DenyAllUnresolved() int {
 	ctx := t.newOpCtx()
 	denied := 0
 	for {
 		progress := false
-		var cands []ids.AID
-		for _, s := range t.shards {
-			s.mu.RLock()
+		cands := mergeSorted(collectShards(t.shards, func(s *shard) []ids.AID {
+			var out []ids.AID
 			for id, a := range s.aids {
 				if a.status == Unresolved && !a.claimed {
-					cands = append(cands, id)
+					out = append(out, id)
 				}
 			}
-			s.mu.RUnlock()
-		}
-		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+			return out
+		}))
 		for _, x := range cands {
 			if t.denySystem(x, ctx) {
 				denied++
@@ -606,17 +607,15 @@ func (t *Tracker) DenyAllUnresolved() int {
 		}
 		// No deniable assumption left, but claim cycles may keep
 		// intervals alive: discard them directly, releasing their claims.
-		var procs []ids.Proc
-		for _, s := range t.shards {
-			s.mu.RLock()
+		procs := mergeSorted(collectShards(t.shards, func(s *shard) []ids.Proc {
+			var out []ids.Proc
 			for id, ps := range s.procs {
 				if len(ps.live) > 0 {
-					procs = append(procs, id)
+					out = append(out, id)
 				}
 			}
-			s.mu.RUnlock()
-		}
-		sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+			return out
+		}))
 		for _, p := range procs {
 			if t.forceDiscard(p, ctx) {
 				denied++
@@ -629,6 +628,37 @@ func (t *Tracker) DenyAllUnresolved() int {
 	}
 	t.finish(ctx)
 	return denied
+}
+
+// collectShards runs scan over every shard concurrently, each under its
+// own read lock. Safe for drain collection because the scans read only
+// state homed on the locked shard; per-shard results come back in shard
+// order, ready for a deterministic merge.
+func collectShards[T ~uint64](shards []*shard, scan func(*shard) []T) [][]T {
+	parts := make([][]T, len(shards))
+	var wg sync.WaitGroup
+	for i, s := range shards {
+		wg.Add(1)
+		go func(i int, s *shard) {
+			defer wg.Done()
+			s.mu.RLock()
+			parts[i] = scan(s)
+			s.mu.RUnlock()
+		}(i, s)
+	}
+	wg.Wait()
+	return parts
+}
+
+// mergeSorted flattens per-shard candidate slices into one ascending
+// identifier order — the shard-count-independent sweep order.
+func mergeSorted[T ~uint64](parts [][]T) []T {
+	var all []T
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all
 }
 
 // LiveIntervals reports p's speculative interval count (diagnostics).

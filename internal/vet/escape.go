@@ -407,6 +407,19 @@ func (e *escapePass) flagCall(call *ast.CallExpr) {
 	// Interprocedural descent: analyze same-module helpers under the
 	// call site's outer mask.
 	if name, _ := engineCallee(e.pkg, call); name != "" {
+		if name == "Checkpoint" {
+			// Checkpointed state is handed back verbatim on restore: if it
+			// aliases memory outside the body, writes through the shared
+			// structure after the checkpoint corrupt the recovery point.
+			// Value-shaped arguments are copied into the interface and are
+			// safe.
+			for _, arg := range call.Args {
+				if e.exprOuter(arg) && refShaped(e.pkg.Info.Types[arg].Type) {
+					e.a.errorf(arg.Pos(), RuleEscape,
+						"checkpointed state aliases memory declared outside the body: the snapshot is restored by reference, so later writes through the shared structure corrupt the recovery point; checkpoint a body-local deep copy")
+				}
+			}
+		}
 		return // engine primitives are the sanctioned interface
 	}
 	cpkg, decl := e.a.resolver.Decl(callee)

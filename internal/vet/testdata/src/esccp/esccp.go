@@ -1,0 +1,27 @@
+// Package esccp exercises the escape rule on Proc.Checkpoint: the
+// captured state is restored by reference after a rollback, so it must
+// not alias memory declared outside the body. Value-shaped arguments
+// are copied into the interface and are safe.
+package esccp
+
+import "hope/internal/engine"
+
+type ledger struct{ rows []int }
+
+func Run(rt *engine.Runtime) error {
+	shared := &ledger{}
+	book := []int{1, 2, 3}
+	return rt.Spawn("p", func(p *engine.Proc) error {
+		if st, ok := p.Restored(); ok {
+			_ = st
+		}
+		local := &ledger{rows: []int{1}}
+		p.Checkpoint(local)       // legal: body-local allocation
+		p.Checkpoint(*shared)     // legal: value copy severs the alias
+		p.Checkpoint(len(book))   // legal: plain value
+		p.Checkpoint(shared)      // want `checkpointed state aliases memory declared outside the body`
+		p.Checkpoint(book)        // want `checkpointed state aliases memory declared outside the body`
+		p.Checkpoint(shared.rows) // want `checkpointed state aliases memory declared outside the body`
+		return nil
+	})
+}

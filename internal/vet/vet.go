@@ -156,6 +156,7 @@ func engineCallee(pkg *lint.Package, call *ast.CallExpr) (string, *types.Func) {
 		"Guess", "Affirm", "Deny", "FreeOf", "Outcome", "NewAID",
 		"Send", "SendRetry", "Effect", "Printf",
 		"Recv", "RecvMatch", "RecvTimeout", "RecvSettled",
+		"Checkpoint",
 	} {
 		if lint.IsEngineFunc(callee, name) {
 			return name, callee

@@ -114,6 +114,7 @@ func TestEscapeCollections(t *testing.T)           { runFixture(t, "esccoll") }
 func TestEscapeAliasedArgs(t *testing.T)           { runFixture(t, "escalias") }
 func TestEscapeSyncAtomicAndSends(t *testing.T)    { runFixture(t, "escsync") }
 func TestEscapeCallbacksExempt(t *testing.T)       { runFixture(t, "esccb") }
+func TestEscapeCheckpointState(t *testing.T)       { runFixture(t, "esccp") }
 
 // Specleak fixtures.
 func TestSpecLeakDroppedGuess(t *testing.T) { runFixture(t, "leakdrop") }

@@ -26,4 +26,11 @@ go run ./cmd/hopevet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# The checkpoint oracle, by name: the race suite above already ran
+# these, but a dedicated stage keeps the recovery invariant legible —
+# committed output byte-identical with checkpoints off / every event /
+# coarse, and under 32 crash-storm seeds with checkpointed recovery.
+echo "== checkpoint oracle (differential + crash-storm soak)"
+go test ./internal/scenario/ -run 'TestScenarioCheckpointDifferential|TestJournalCheckpoint|TestStormCheckpointFaultSoak' -count=1
+
 echo "check.sh: all stages passed"
