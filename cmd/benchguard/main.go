@@ -88,6 +88,14 @@ var headline = []metric{
 	{Name: "e4b.rollback_cost_flatness", Exp: "E4", Table: "E4b summary",
 		Match: map[string]string{"metric": "cp_flatness"}, Col: "value",
 		HigherIsBetter: false, ThresholdPct: 100},
+	// Wire hop cost relative to an in-process hop (2-node loopback
+	// pair). A ratio so machine speed cancels; still wide — loopback
+	// TCP wakeups on shared runners jitter hard. Structural breakage
+	// (a stalled writer, per-frame sync gone wrong) shows up as an
+	// order of magnitude, far past the threshold.
+	{Name: "e14.wire_hop_vs_inproc", Exp: "E14", Table: "E14:",
+		Match: map[string]string{"topology": "wire 2-node pair"}, Col: "vs in-proc",
+		HigherIsBetter: false, ThresholdPct: 200},
 }
 
 // table is one parsed markdown table from an experiment's rendered

@@ -9,6 +9,7 @@
 //	hopetop -w fanout -json obs.json             # machine-readable snapshot
 //	hopetop -exp E12                             # run an experiment by ID
 //	hopetop -w storm -shards                     # per-shard tracker table
+//	hopetop -w stormwire -peers                  # wire transport per-link table
 //	hopetop -list                                # what can run
 //
 // Chaos mode arms deterministic fault injection — crashes, drops,
@@ -49,6 +50,7 @@ func main() {
 		jsonOut  = flag.String("json", "", "write the observer snapshot as JSON")
 		showEv   = flag.Bool("dump-events", false, "print the recorded event stream")
 		showSh   = flag.Bool("shards", false, "print the per-shard tracker table (assumptions, epoch, heap)")
+		showPe   = flag.Bool("peers", false, "print the wire peers table (frames, bytes, redeliveries per link)")
 		list     = flag.Bool("list", false, "list workloads and experiments")
 		faultStr = flag.String("faults", "", "chaos mode: fault spec, e.g. seed=7,crash=0.02,drop=0.1,dup=0.05,delay=0.2,stall=0.1")
 		cpEvery  = flag.Int("cpevery", 0, "checkpoint Loop processes every K logged events (0 = off); rollbacks resume from the newest checkpoint")
@@ -142,6 +144,10 @@ func main() {
 		fmt.Println()
 		fmt.Print(shardTable(o))
 	}
+	if *showPe {
+		fmt.Println()
+		fmt.Print(peersTable(o))
+	}
 	if *showEv {
 		fmt.Println()
 		fmt.Print(o.DumpEvents())
@@ -190,6 +196,27 @@ func shardTable(o *obs.Observer) string {
 	for i := 0; i < n; i++ {
 		fmt.Fprintf(&b, "  %5d %12d %10d %9d\n",
 			i, at(m.ShardAssumptions, i), at(m.ShardEpochs, i), at(m.ShardHeapDepth, i))
+	}
+	return b.String()
+}
+
+// peersTable renders the wire transport's per-link counters: one row
+// per registered peer link ("→nodeN" outbound, "←nodeN" inbound),
+// frames and bytes each way, and redeliveries — frames the per-sender
+// sequence filter saw at or below its high-water mark (transport
+// duplicates, either injected or retry-induced). Populated by
+// wire-backed workloads (-w stormwire); empty otherwise.
+func peersTable(o *obs.Observer) string {
+	snap := o.Snapshot()
+	if len(snap.WirePeers) == 0 {
+		return "wire peers: no wire transport attached\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "wire peers (%d links, verdict fanout=%d):\n", len(snap.WirePeers), snap.Metrics.WireVerdictFanout)
+	fmt.Fprintf(&b, "  %-10s %9s %9s %10s %10s %7s\n", "peer", "frames-in", "frames-out", "bytes-in", "bytes-out", "redeliv")
+	for _, p := range snap.WirePeers {
+		fmt.Fprintf(&b, "  %-10s %9d %9d %10d %10d %7d\n",
+			p.Peer, p.FramesIn, p.FramesOut, p.BytesIn, p.BytesOut, p.Redeliveries)
 	}
 	return b.String()
 }

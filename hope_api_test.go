@@ -7,11 +7,13 @@ import (
 	"go/parser"
 	"go/token"
 	"io"
+	"net"
 	"strings"
 	"testing"
 	"time"
 
 	"hope"
+	"hope/internal/wire"
 )
 
 // TestExportedAPIHidesInternalTypes parses hope.go and fails if any
@@ -115,6 +117,76 @@ func TestErrorsComposeAcrossFacade(t *testing.T) {
 	if err := <-errCh; !errors.Is(err, hope.ErrDelivery) {
 		t.Fatalf("wrapped Send error %v does not match hope.ErrDelivery", err)
 	}
+}
+
+// TestWireErrorsComposeAcrossFacade checks the error taxonomy across
+// the wire transport: a Send whose destination lives in another runtime
+// behind a lost TCP peer degrades to the same errors.Is-composable
+// hope.ErrDelivery a local injected drop produces — so retry logic
+// written against the façade works unchanged when the workload is
+// distributed.
+func TestWireErrorsComposeAcrossFacade(t *testing.T) {
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := map[string]uint32{"tx": 0, "rx": 1}
+
+	rtA := hope.New(hope.WithOutput(io.Discard))
+	defer rtA.Shutdown()
+	nodeA, err := wire.NewNode(rtA, wire.Config{
+		ID: 0, Listener: lnA, Peers: map[uint32]string{1: lnB.Addr().String()}, Procs: procs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeA.Close()
+	rtB := hope.New(hope.WithOutput(io.Discard))
+	defer rtB.Shutdown()
+	nodeB, err := wire.NewNode(rtB, wire.Config{
+		ID: 1, Listener: lnB, Peers: map[uint32]string{0: lnA.Addr().String()}, Procs: procs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeB.Close()
+
+	lost := make(chan struct{})
+	errCh := make(chan error, 1)
+	if err := rtA.Spawn("tx", func(p *hope.Proc) error {
+		<-lost
+		// TCP surfaces the peer's death on a write attempt, not
+		// instantly; every failed attempt must compose as ErrDelivery.
+		for i := 0; i < 400; i++ {
+			if err := p.Send("rx", i); err != nil {
+				errCh <- fmt.Errorf("distributed send: %w", err)
+				return nil
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		errCh <- fmt.Errorf("sends kept succeeding after peer loss")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodeA.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodeB.Start(); err != nil {
+		t.Fatal(err)
+	}
+	nodeB.Close()
+	rtB.Shutdown()
+	close(lost)
+
+	if err := <-errCh; !errors.Is(err, hope.ErrDelivery) {
+		t.Fatalf("wrapped wire-loss Send error %v does not match hope.ErrDelivery", err)
+	}
+	rtA.Wait()
 }
 
 // TestParseFaultsRoundTrip checks the façade's spec-string entry point.

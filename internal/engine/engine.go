@@ -155,6 +155,12 @@ type Runtime struct {
 	// (0 = off); see WithCheckpointEvery.
 	cpEvery int
 
+	// remote is the cross-process router consulted for destinations with
+	// no local process (nil = unknown names are fatal); aidBase is the
+	// node's AID namespace prefix. See remote.go.
+	remote  RemoteRouter
+	aidBase uint64
+
 	seq atomic.Uint64
 }
 
@@ -176,6 +182,9 @@ func New(opts ...Option) *Runtime {
 	// Options are applied before the tracker exists so WithShards can
 	// size it; the scheduler pool mirrors the tracker's shard count.
 	r.tr = tracker.New(tracker.WithShards(r.shardCfg))
+	if r.aidBase != 0 {
+		r.tr.SetAIDBase(r.aidBase)
+	}
 	r.scheds = make([]*sched, r.tr.Shards())
 	for i := range r.scheds {
 		s := &sched{idx: i}
@@ -307,7 +316,14 @@ func (r *Runtime) route(from, to string, msg *rmsg) error {
 	r.mu.Lock()
 	dst, ok := r.procs[to]
 	if !ok {
+		remote := r.remote
 		r.mu.Unlock()
+		if remote != nil {
+			// Cross-process destination: hand off to the wire layer. Its
+			// ErrDelivery results (wire drops, lost peers) surface from
+			// Send like a local injected drop.
+			return remote(WireMsg{From: from, To: to, Seq: msg.seq, Tags: msg.tags, Payload: msg.payload})
+		}
 		return fmt.Errorf("%w: %q", ErrUnknownDest, to)
 	}
 	if r.latency == nil && r.faults == nil {

@@ -37,6 +37,11 @@ type rmsg struct {
 	from    string
 	payload any
 	tags    []ids.AID
+	// wire marks a message injected by the cross-process transport
+	// (Runtime.InjectRemote): the per-link duplicate filter applies to it
+	// even when the receiving runtime has no local fault plan, because
+	// duplication may have been injected at the sender's wire.
+	wire bool
 	// cls memoizes the tag set's classification verdict (guarded by the
 	// owning receiver's mu, like the queue itself): repeated queue scans
 	// revalidate it with one atomic epoch load instead of a locked
@@ -335,7 +340,7 @@ func (p *Proc) hasWork() bool {
 func (p *Proc) enqueue(m *rmsg) {
 	p.rt.mu.Lock()
 	p.mu.Lock()
-	if p.rt.faults != nil {
+	if p.rt.faults != nil || m.wire {
 		// Per-link duplicate filter: sequence numbers are allocated in
 		// send order and links are FIFO, so an arrival not newer than
 		// the link's high-water mark is an injected duplicate. Rollback
@@ -683,10 +688,19 @@ func (p *Proc) Send(to string, payload any) error {
 		payload: payload,
 		tags:    tags,
 	}
-	p.record(entry{kind: entrySend, ok: true})
 	if err := p.rt.route(p.name, to, msg); err != nil {
+		if errors.Is(err, ErrDelivery) {
+			// The remote transport refused the message (wire-injected
+			// drop or lost peer): same contract as a local injected
+			// drop — the send had no effect and the verdict is logged
+			// so replay reproduces it without touching the wire.
+			p.record(entry{kind: entrySend, ok: false})
+			p.checkPending()
+			return ErrDelivery
+		}
 		p.fatal(err)
 	}
+	p.record(entry{kind: entrySend, ok: true})
 	p.checkPending()
 	return nil
 }

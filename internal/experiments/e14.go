@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"hope/internal/bench"
+	"hope/internal/engine"
+	"hope/internal/wire"
+)
+
+// E14WireLatency measures what the wire transport costs: a message ring
+// (each process forwards a token to the next, the first counts rounds)
+// runs entirely inside one runtime, then with every hop crossing a
+// loopback-TCP link between runtimes — the 2-node pair and the 3-node
+// ring that internal/wire's distributed storm uses. The per-hop figures
+// bound the §3.1 latency arithmetic's L term for cross-process
+// deployments: in-proc hops cost a channel handoff, wire hops add
+// framing, gob, and a kernel round trip. The ratio column is the
+// headline: how much slower one hop gets when it leaves the process.
+func E14WireLatency(w io.Writer) error {
+	const rounds = 256
+
+	t := bench.NewTable("E14: wire transport hop latency (loopback TCP vs in-process)",
+		"topology", "procs", "hops", "elapsed", "per-hop", "vs in-proc")
+	base := make(map[int]time.Duration) // ring size → in-proc per-hop
+	for _, cfg := range []struct {
+		name  string
+		procs int
+		wired bool
+	}{
+		{"in-proc pair", 2, false},
+		{"wire 2-node pair", 2, true},
+		{"in-proc ring3", 3, false},
+		{"wire 3-node ring", 3, true},
+	} {
+		elapsed, err := runRing(cfg.procs, rounds, cfg.wired)
+		if err != nil {
+			return fmt.Errorf("%s: %w", cfg.name, err)
+		}
+		hops := cfg.procs * rounds
+		perHop := elapsed / time.Duration(hops)
+		ratio := "1.0x"
+		if cfg.wired {
+			ratio = fmt.Sprintf("%.1fx", float64(perHop)/float64(base[cfg.procs]))
+		} else {
+			base[cfg.procs] = perHop
+		}
+		t.AddRow(cfg.name, cfg.procs, hops, ms(elapsed), perHop.Round(100*time.Nanosecond), ratio)
+	}
+	return render(w, t)
+}
+
+// runRing times `rounds` circuits of a token around a ring of procs —
+// all in one runtime, or one runtime per proc joined by loopback TCP.
+func runRing(procs, rounds int, wired bool) (time.Duration, error) {
+	names := make([]string, procs)
+	placement := make(map[string]uint32, procs)
+	for i := range names {
+		names[i] = fmt.Sprintf("r%d", i)
+		placement[names[i]] = uint32(i)
+	}
+	body := func(i int) func(p *engine.Proc) error {
+		next := names[(i+1)%procs]
+		return func(p *engine.Proc) error {
+			for r := 0; r < rounds; r++ {
+				if i == 0 {
+					if err := p.Send(next, r); err != nil {
+						return err
+					}
+				}
+				if _, err := p.Recv(); err != nil {
+					return err
+				}
+				if i != 0 {
+					if err := p.Send(next, r); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+	}
+
+	if !wired {
+		rt := engine.New(engine.WithOutput(io.Discard))
+		defer rt.Shutdown()
+		for i := range names {
+			if err := rt.Spawn(names[i], body(i)); err != nil {
+				return 0, err
+			}
+		}
+		start := time.Now()
+		for _, err := range rt.Wait() {
+			if err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	listeners := make([]net.Listener, procs)
+	addrs := make(map[uint32]string, procs)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return 0, err
+		}
+		defer ln.Close()
+		listeners[i] = ln
+		addrs[uint32(i)] = ln.Addr().String()
+	}
+	rts := make([]*engine.Runtime, procs)
+	nodes := make([]*wire.Node, procs)
+	defer func() {
+		for _, n := range nodes {
+			if n != nil {
+				n.Close()
+			}
+		}
+		for _, rt := range rts {
+			if rt != nil {
+				rt.Shutdown()
+			}
+		}
+	}()
+	for i := 0; i < procs; i++ {
+		rt := engine.New(engine.WithOutput(io.Discard), engine.WithAIDBase(uint64(i)<<48))
+		rts[i] = rt
+		peers := make(map[uint32]string, procs-1)
+		for j := uint32(0); j < uint32(procs); j++ {
+			if j != uint32(i) {
+				peers[j] = addrs[j]
+			}
+		}
+		node, err := wire.NewNode(rt, wire.Config{
+			ID: uint32(i), Listener: listeners[i], Peers: peers, Procs: placement,
+		})
+		if err != nil {
+			return 0, err
+		}
+		nodes[i] = node
+		if err := rt.Spawn(names[i], body(i)); err != nil {
+			return 0, err
+		}
+	}
+	for i, node := range nodes {
+		if err := node.Start(); err != nil {
+			return 0, fmt.Errorf("node %d start: %w", i, err)
+		}
+	}
+	start := time.Now()
+	errCh := make(chan error, procs)
+	for i := range rts {
+		go func(i int) {
+			for _, err := range rts[i].Wait() {
+				if err != nil {
+					errCh <- fmt.Errorf("node %d: %w", i, err)
+					return
+				}
+			}
+			errCh <- nodes[i].Barrier(time.Minute)
+		}(i)
+	}
+	var errs []error
+	for range rts {
+		if err := <-errCh; err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if err := errors.Join(errs...); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}

@@ -44,6 +44,7 @@ func All() []Experiment {
 		{ID: "E11", Title: "Tracker scaling: epoch-cached classification under fanout", Run: E11TrackerScaling},
 		{ID: "E12", Title: "Speculation lifecycle via obs (affirm/deny ratio, replay depth)", Run: E12SpeculationObservability},
 		{ID: "E13", Title: "Fault-storm transparency (Theorems 5.1–6.3 as an executable oracle)", Run: E13FaultStorm},
+		{ID: "E14", Title: "Wire transport hop latency (loopback TCP vs in-process)", Run: E14WireLatency},
 	}
 }
 

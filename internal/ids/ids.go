@@ -77,10 +77,20 @@ type Gen struct {
 	aid      atomic.Uint64
 	interval atomic.Uint64
 	proc     atomic.Uint64
+	// aidBase is OR'd into every allocated AID: the node-namespace prefix
+	// for distributed runtimes (internal/wire). It occupies high bits, so
+	// the dense low bits keep driving shard selection unchanged.
+	aidBase atomic.Uint64
 }
 
+// SetAIDBase namespaces subsequently allocated AIDs: every NextAID result
+// has base OR'd in. Distributed runtimes give each node a disjoint
+// high-bit base (node<<48) so AIDs minted on different OS processes can
+// never collide when they cross the wire. Call before allocating.
+func (g *Gen) SetAIDBase(base uint64) { g.aidBase.Store(base) }
+
 // NextAID returns a fresh AID.
-func (g *Gen) NextAID() AID { return AID(g.aid.Add(1)) }
+func (g *Gen) NextAID() AID { return AID(g.aidBase.Load() | g.aid.Add(1)) }
 
 // NextInterval returns a fresh Interval.
 func (g *Gen) NextInterval() Interval { return Interval(g.interval.Add(1)) }

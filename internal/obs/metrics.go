@@ -92,6 +92,11 @@ var replayDepthBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024}
 // count here so a shard set fits one uint64 bitmask).
 const MaxShards = 64
 
+// MaxPeers is the most wire peers the per-peer transport counters can
+// record; links past the cap still work, they just aggregate into no
+// slot. Slots are handed out by Observer.RegisterWirePeer.
+const MaxPeers = 16
+
 // Metrics is the registry of runtime activity counters, gauges, and
 // histograms. All fields are updated atomically; read them through
 // Snapshot. It extends tracker.Stats (bare interval accounting) with the
@@ -143,6 +148,16 @@ type Metrics struct {
 	ShardEpochs      [MaxShards]atomic.Int64
 	ShardHeapDepth   [MaxShards]atomic.Int64
 	ShardContention  atomic.Int64
+
+	// Wire transport (populated only when internal/wire is attached):
+	// one slot per registered peer link, plus the total fan-out of
+	// locally-originated verdict broadcasts.
+	WirePeerFramesIn     [MaxPeers]atomic.Int64
+	WirePeerFramesOut    [MaxPeers]atomic.Int64
+	WirePeerBytesIn      [MaxPeers]atomic.Int64
+	WirePeerBytesOut     [MaxPeers]atomic.Int64
+	WirePeerRedeliveries [MaxPeers]atomic.Int64
+	WireVerdictFanout    atomic.Int64
 
 	Annotations atomic.Int64
 
@@ -212,6 +227,8 @@ type MetricsSnapshot struct {
 	ShardHeapDepth   []int64 `json:"shard_heap_depth,omitempty"`
 	ShardContention  int64   `json:"shard_contention,omitempty"`
 
+	WireVerdictFanout int64 `json:"wire_verdict_fanout,omitempty"`
+
 	Annotations int64 `json:"annotations"`
 
 	FaultCrashes  int64 `json:"fault_crashes"`
@@ -280,6 +297,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		ShardEpochs:      shardSlice(&m.ShardEpochs),
 		ShardHeapDepth:   shardSlice(&m.ShardHeapDepth),
 		ShardContention:  m.ShardContention.Load(),
+
+		WireVerdictFanout: m.WireVerdictFanout.Load(),
 
 		Annotations: m.Annotations.Load(),
 

@@ -27,6 +27,7 @@ type Observer struct {
 	mu     sync.RWMutex
 	names  map[ids.Proc]string
 	byName map[string]ids.Proc
+	peers  []string // wire-peer slot names, in RegisterWirePeer order
 }
 
 // Option configures an Observer.
@@ -271,6 +272,7 @@ type Snapshot struct {
 	EventsRecorded uint64          `json:"events_recorded"`
 	EventsDropped  uint64          `json:"events_dropped"`
 	Procs          []string        `json:"procs,omitempty"`
+	WirePeers      []WirePeerStat  `json:"wire_peers,omitempty"`
 }
 
 // Snapshot captures the observer state. Counters are read individually
@@ -293,6 +295,7 @@ func (o *Observer) Snapshot() Snapshot {
 		EventsRecorded: o.seq.Load(),
 		EventsDropped:  dropped,
 		Procs:          procs,
+		WirePeers:      o.WirePeers(),
 	}
 }
 
@@ -352,6 +355,7 @@ func (o *Observer) Dump() string {
 			fmt.Fprintf(&b, "               sched-heaps(max)=%v\n", m.ShardHeapDepth)
 		}
 	}
+	b.WriteString(o.dumpWire())
 	if m.FaultCrashes+m.FaultDrops+m.FaultDups+m.FaultDelays+m.FaultStalls > 0 {
 		fmt.Fprintf(&b, "  faults:      crashes=%d drops=%d dups=%d delays=%d stalls=%d (dup-suppressed=%d)\n",
 			m.FaultCrashes, m.FaultDrops, m.FaultDups, m.FaultDelays, m.FaultStalls, m.DupSuppressed)

@@ -61,6 +61,12 @@ func All() []Spec {
 			Run:          Storm,
 		},
 		{
+			Name:         "stormwire",
+			Desc:         "distributed storm: 3 runtimes over loopback-TCP wire transport; scale = jobs per worker",
+			DefaultScale: 8,
+			Run:          StormWire,
+		},
+		{
 			Name:         "journal",
 			Desc:         "checkpoint oracle: long speculation windows, self-denied batches; scale = windows per worker",
 			DefaultScale: 6,

@@ -661,6 +661,75 @@ func mergeSorted[T ~uint64](parts [][]T) []T {
 	return all
 }
 
+// ApplyVerdict applies a terminal resolution decided elsewhere — a
+// distributed Affirm/Deny received over the wire. It is the definite
+// branch of Affirm/Deny acting on the system's behalf: no calling
+// process, no speculative variant. The operation is idempotent —
+// re-applying an already-settled verdict in the same direction is a
+// no-op — and tolerant of §5.6 system denies superseding a remote
+// affirm, so verdict gossip between nodes terminates without loops.
+// A genuinely contradictory verdict returns ErrConflict.
+func (t *Tracker) ApplyVerdict(x ids.AID, affirmed bool) error {
+	ctx := t.newOpCtx()
+	err := t.settleCtx(ctx, bit(t.aidIdx(x)), func(locked uint64) error {
+		f := t.newFootprint(locked)
+		if !f.resolveAID(x) {
+			return errEscape
+		}
+		return t.applyVerdictLocked(t.aid(x), affirmed, ctx)
+	})
+	t.finish(ctx)
+	return err
+}
+
+// applyVerdictLocked mirrors the definite branches of affirmLocked and
+// denyLocked without a resolving interval. Caller holds the settle's
+// locked set, admitted by a resolveAID footprint walk on x.
+func (t *Tracker) applyVerdictLocked(a *aidState, affirmed bool, ctx *opCtx) error {
+	st := t.aidShard(a.id)
+	if affirmed {
+		switch {
+		case a.status == Affirmed || a.status == SpecAffirmed:
+			return nil // redundant (§5.2): already (speculatively) affirmed
+		case a.status == Denied && a.systemDenied:
+			return nil // superseded by a §5.6 system deny
+		case a.status == Denied:
+			return ErrConflict
+		}
+		// Definite affirm (Equations 7–9), resolver-less.
+		a.claimed = true
+		t.setStatus(a, Affirmed, ctx)
+		st.stats.DefiniteAffirms++
+		t.obs.Emit(obs.KAffirmed, ids.NoProc, a.id, ids.NoInterval, 0)
+		for _, b := range a.dom.Elems() {
+			if b.status != speculative {
+				continue
+			}
+			b.ido.Remove(a.id)
+			a.dom.Remove(b)
+			if b.ido.Empty() {
+				t.finalizeLocked(b, ctx)
+			}
+		}
+		return nil
+	}
+	switch {
+	case a.status == Denied:
+		return nil // redundant: denies agree
+	case a.status == Affirmed || a.status == SpecAffirmed:
+		return ErrConflict
+	}
+	// Definite deny (Equation 15), resolver-less. A local speculative
+	// deny claim is compatible — the remote verdict settles it early and
+	// the claiming interval's IHD entry becomes a redundant re-deny.
+	a.claimed = true
+	t.setStatus(a, Denied, ctx)
+	st.stats.DefiniteDenies++
+	t.obs.Emit(obs.KDenied, ids.NoProc, a.id, ids.NoInterval, 0)
+	t.rollbackDependentsLocked(a, ctx)
+	return nil
+}
+
 // LiveIntervals reports p's speculative interval count (diagnostics).
 func (t *Tracker) LiveIntervals(p ids.Proc) int {
 	s := t.procShard(p)

@@ -257,6 +257,14 @@ type Tracker struct {
 	// sleep widens the speculation window the resolution would close
 	// without ever holding a tracker lock.
 	stall func(p ids.Proc, op string)
+	// sink is the terminal-verdict sink (nil = no-op): invoked outside
+	// all shard locks after any assumption reaches a terminal resolution
+	// (Affirmed or Denied), however it got there — definite resolution,
+	// spec-affirm promotion at finalize, IHD deny, system deny, rollback
+	// of a spec-affirmer, or a remote ApplyVerdict. The wire layer uses
+	// it to broadcast distributed Affirm/Deny; speculative states
+	// (SpecAffirmed, spec-deny claims) are revocable and never reported.
+	sink func(x ids.AID, affirmed bool)
 }
 
 type watcherBox struct{ fn func() }
@@ -303,6 +311,19 @@ func (t *Tracker) SetObserver(o *obs.Observer) { t.obs = o }
 // traffic — the field is read without synchronization.
 func (t *Tracker) SetStallHook(fn func(p ids.Proc, op string)) { t.stall = fn }
 
+// SetVerdictSink installs the terminal-verdict sink (nil detaches): fn is
+// invoked outside all shard locks, once per assumption that reaches a
+// terminal resolution in some settle, with the direction it settled.
+// Like SetObserver, call it before the tracker sees traffic — the field
+// is read without synchronization.
+func (t *Tracker) SetVerdictSink(fn func(x ids.AID, affirmed bool)) { t.sink = fn }
+
+// SetAIDBase namespaces this tracker's AID allocation (see ids.Gen): node
+// i of a distributed runtime passes i<<48 so locally minted AIDs are
+// globally unique. The low bits still drive shard selection, so the base
+// does not perturb shard spread. Call before any AID is allocated.
+func (t *Tracker) SetAIDBase(base uint64) { t.gen.SetAIDBase(base) }
+
 // Register adds a process. The returned identifier names it in all
 // subsequent calls.
 func (t *Tracker) Register(hooks Hooks) ids.Proc {
@@ -328,6 +349,35 @@ func (t *Tracker) NewAID() ids.AID {
 	s.mu.Unlock()
 	t.obs.ShardAssumptions(int(t.aidIdx(x)), n)
 	return x
+}
+
+// Materialize ensures a record exists for every assumption identifier
+// in tags, creating missing ones Unresolved. Distributed runtimes call
+// it when a tagged message arrives over the wire: an AID minted in
+// another OS process is unknown here, and the classification walk
+// treats unknown AIDs as settled (locally minted records are never
+// deleted, so unknown could otherwise only mean "never existed").
+// Materializing before the message is enqueued makes the foreign tag
+// speculative until the minting node's terminal verdict arrives —
+// every terminal verdict is broadcast — so implicit guesses, orphan
+// discard, and RecvSettled behave exactly as if the guess were local.
+// Like NewAID, creation needs no epoch bump: a tag set naming x is
+// only ever classified after the wire message carrying x was injected,
+// so no cached verdict can predate the record.
+func (t *Tracker) Materialize(tags []ids.AID) {
+	for _, x := range tags {
+		s := t.aidShard(x)
+		s.mu.Lock()
+		if _, ok := s.aids[x]; ok {
+			s.mu.Unlock()
+			continue
+		}
+		s.aids[x] = &aidState{id: x, dom: sets.New[*intervalState](), status: Unresolved}
+		s.unresolved++
+		n := len(s.aids)
+		s.mu.Unlock()
+		t.obs.ShardAssumptions(int(t.aidIdx(x)), n)
+	}
 }
 
 // Stats returns the activity counters summed across shards. The
@@ -608,6 +658,14 @@ func (t *Tracker) setStatus(a *aidState, st Resolution, ctx *opCtx) {
 	a.status = st
 	ctx.dirty |= bit(idx)
 	ctx.resolved = true
+	// Terminal transitions are reported to the verdict sink from finish,
+	// outside every shard lock. setStatus is the single chokepoint for
+	// resolution-state changes, so no terminal verdict can slip past the
+	// wire broadcast regardless of which cascade produced it.
+	if sink := t.sink; sink != nil && (st == Affirmed || st == Denied) {
+		x, affirmed := a.id, st == Affirmed
+		ctx.after = append(ctx.after, func() { sink(x, affirmed) })
+	}
 }
 
 // PendingRollback reports whether a rollback target is pending for p.

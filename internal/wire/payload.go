@@ -1,0 +1,63 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sync"
+
+	"hope/internal/engine"
+)
+
+// Payloads cross the wire as gob inside the Msg frame: gob because the
+// engine's message payloads are `any`, and gob's interface encoding is
+// the one stdlib serializer that round-trips a registered concrete type
+// through an interface value without a schema. The frame layer treats
+// the result as opaque bytes.
+
+var registerOnce sync.Once
+
+// registerBuiltins registers the concrete types a payload commonly is.
+// gob transmits interface values by registered concrete type name, so
+// even builtins need registering. engine.AID rides along because tagged
+// protocols pass assumption handles inside payload structs (AID has
+// GobEncode/GobDecode for its unexported field).
+func registerBuiltins() {
+	gob.Register(int(0))
+	gob.Register(int64(0))
+	gob.Register(uint64(0))
+	gob.Register("")
+	gob.Register(false)
+	gob.Register(float64(0))
+	gob.Register([]byte(nil))
+	gob.Register([]int(nil))
+	gob.Register([]string(nil))
+	gob.Register(engine.AID{})
+}
+
+// RegisterPayload registers a concrete payload type for wire transit.
+// Call once per application message type before traffic flows (gob
+// panics on conflicting re-registration, so keep types stable).
+func RegisterPayload(v any) {
+	registerOnce.Do(registerBuiltins)
+	gob.Register(v)
+}
+
+// EncodePayload serializes one payload value.
+func EncodePayload(v any) ([]byte, error) {
+	registerOnce.Do(registerBuiltins)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePayload is the inverse of EncodePayload.
+func DecodePayload(b []byte) (any, error) {
+	registerOnce.Do(registerBuiltins)
+	var v any
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
