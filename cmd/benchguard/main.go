@@ -96,6 +96,15 @@ var headline = []metric{
 	{Name: "e14.wire_hop_vs_inproc", Exp: "E14", Table: "E14:",
 		Match: map[string]string{"topology": "wire 2-node pair"}, Col: "vs in-proc",
 		HigherIsBetter: false, ThresholdPct: 200},
+	// Adaptive admission vs the better static policy on the shifting-
+	// accuracy workload. The claim is "adaptive ≥ both statics": a
+	// controller that stops closing the loop collapses the ratio to
+	// parity or below (~0.85–1.0x, a 20–30% drop from the recorded
+	// baseline), which the threshold is sized to catch while tolerating
+	// the wall-clock jitter in the individual makespans.
+	{Name: "e15.adaptive_vs_static", Exp: "E15", Table: "E15:",
+		Match: map[string]string{"policy": "adaptive vs best static"}, Col: "vs always-on",
+		HigherIsBetter: true, ThresholdPct: 20},
 }
 
 // table is one parsed markdown table from an experiment's rendered

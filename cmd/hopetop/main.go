@@ -10,6 +10,7 @@
 //	hopetop -exp E12                             # run an experiment by ID
 //	hopetop -w storm -shards                     # per-shard tracker table
 //	hopetop -w stormwire -peers                  # wire transport per-link table
+//	hopetop -w storm -policy adaptive -sites     # per-site admission table
 //	hopetop -list                                # what can run
 //
 // Chaos mode arms deterministic fault injection — crashes, drops,
@@ -36,6 +37,7 @@ import (
 	"hope/internal/experiments"
 	"hope/internal/fault"
 	"hope/internal/obs"
+	"hope/internal/policy"
 	"hope/internal/scenario"
 )
 
@@ -51,6 +53,8 @@ func main() {
 		showEv   = flag.Bool("dump-events", false, "print the recorded event stream")
 		showSh   = flag.Bool("shards", false, "print the per-shard tracker table (assumptions, epoch, heap)")
 		showPe   = flag.Bool("peers", false, "print the wire peers table (frames, bytes, redeliveries per link)")
+		showSi   = flag.Bool("sites", false, "print the per-site admission table (accuracy, admits, denies, controller state)")
+		polName  = flag.String("policy", "on", "speculation policy: on, off, or adaptive")
 		list     = flag.Bool("list", false, "list workloads and experiments")
 		faultStr = flag.String("faults", "", "chaos mode: fault spec, e.g. seed=7,crash=0.02,drop=0.1,dup=0.05,delay=0.2,stall=0.1")
 		cpEvery  = flag.Int("cpevery", 0, "checkpoint Loop processes every K logged events (0 = off); rollbacks resume from the newest checkpoint")
@@ -97,6 +101,17 @@ func main() {
 
 	o := obs.New(obs.WithEventCapacity(*events))
 	opts := []engine.Option{engine.WithObserver(o)}
+	switch *polName {
+	case "on":
+		// Always-on is the nil-controller fast path: no admission checks,
+		// and no per-site rows for -sites to show.
+	case "off":
+		opts = append(opts, engine.WithSpeculation(policy.AlwaysOff(policy.Config{})))
+	case "adaptive":
+		opts = append(opts, engine.WithSpeculation(policy.NewAdaptive(policy.Config{})))
+	default:
+		fatal(fmt.Errorf("unknown -policy %q (want on, off, or adaptive)", *polName))
+	}
 	if plan != nil {
 		opts = append(opts, engine.WithFaults(plan))
 	}
@@ -147,6 +162,10 @@ func main() {
 	if *showPe {
 		fmt.Println()
 		fmt.Print(peersTable(o))
+	}
+	if *showSi {
+		fmt.Println()
+		fmt.Print(sitesTable(o))
 	}
 	if *showEv {
 		fmt.Println()
@@ -217,6 +236,30 @@ func peersTable(o *obs.Observer) string {
 	for _, p := range snap.WirePeers {
 		fmt.Fprintf(&b, "  %-10s %9d %9d %10d %10d %7d\n",
 			p.Peer, p.FramesIn, p.FramesOut, p.BytesIn, p.BytesOut, p.Redeliveries)
+	}
+	return b.String()
+}
+
+// sitesTable renders the admission controller's view of each static
+// Guess site: observed accuracy, how many guesses were admitted to
+// speculate vs denied into a pessimistic wait, resolution counts, wait
+// budget expiries, and the controller state (on / throttled / off).
+// Rows appear only when a controller is attached (-policy off or
+// adaptive); always-on never consults admission, so there is nothing to
+// show.
+func sitesTable(o *obs.Observer) string {
+	sites := o.SiteStats()
+	if len(sites) == 0 {
+		return "sites: no admission-checked guesses (run with -policy adaptive or off)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "guess sites (%d):\n", len(sites))
+	fmt.Fprintf(&b, "  %-28s %8s %7s %7s %7s %7s %7s %8s %9s\n",
+		"site", "accuracy", "guesses", "admit", "deny", "affirm", "refute", "timeout", "state")
+	for _, s := range sites {
+		fmt.Fprintf(&b, "  %-28s %7.0f%% %7d %7d %7d %7d %7d %8d %9s\n",
+			s.Key, 100*s.Estimate, s.Guesses, s.Admitted, s.Denied,
+			s.Affirms, s.Refutes, s.WaitTimeouts, s.State)
 	}
 	return b.String()
 }

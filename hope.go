@@ -104,6 +104,7 @@ import (
 	"hope/internal/engine"
 	"hope/internal/fault"
 	"hope/internal/obs"
+	"hope/internal/policy"
 	"hope/internal/tracker"
 )
 
@@ -151,6 +152,161 @@ var (
 // New creates a runtime.
 func New(opts ...Option) *Runtime { return engine.New(opts...) }
 
+// Policy bundles a runtime's configuration into one declarative value:
+// the preferred way to configure a Runtime. Zero fields keep their
+// defaults, so policies compose — New(WithPolicy(base), WithPolicy(p))
+// applies base first, then p's non-zero fields on top. The single-field
+// With* options remain as shims over the corresponding Policy field.
+type Policy struct {
+	// Output receives committed Printf output (default os.Stdout).
+	Output io.Writer
+	// Latency models one-way message delay between named processes
+	// (default: synchronous delivery).
+	Latency func(from, to string) time.Duration
+	// Shards sets the dependency-tracker and delivery-scheduler shard
+	// count (default: next power of two >= GOMAXPROCS).
+	Shards int
+	// Faults arms deterministic fault injection.
+	Faults *FaultPlan
+	// Observer attaches an observability sink.
+	Observer *Observer
+	// CheckpointEvery arms automatic checkpointing for Loop processes.
+	CheckpointEvery int
+	// Speculation selects how eagerly Guess speculates (default
+	// AlwaysOn — the paper's unconditional optimism).
+	Speculation SpeculationPolicy
+}
+
+// WithPolicy applies every non-zero field of pol. It is an ordinary
+// Option, so it mixes freely with the single-field shims; later options
+// win where they overlap.
+func WithPolicy(pol Policy) Option {
+	return func(r *Runtime) {
+		if pol.Output != nil {
+			engine.WithOutput(pol.Output)(r)
+		}
+		if pol.Latency != nil {
+			engine.WithLatency(pol.Latency)(r)
+		}
+		if pol.Shards != 0 {
+			engine.WithShards(pol.Shards)(r)
+		}
+		if pol.Faults != nil {
+			engine.WithFaults(pol.Faults)(r)
+		}
+		if pol.Observer != nil {
+			engine.WithObserver(pol.Observer)(r)
+		}
+		if pol.CheckpointEvery != 0 {
+			engine.WithCheckpointEvery(pol.CheckpointEvery)(r)
+		}
+		if c := pol.Speculation.controller(); c != nil {
+			engine.WithSpeculation(c)(r)
+		}
+	}
+}
+
+// SpeculationPolicy selects how eagerly Guess speculates. The zero value
+// is AlwaysOn(). Construct with AlwaysOn, AlwaysOff, or Adaptive.
+//
+// Whatever the policy, a program's committed output is identical to its
+// always-on output: a guess that does not speculate waits for its
+// assumption's real verdict and takes the same branch a denial's
+// rollback would have produced, and every verdict is recorded in the
+// replay log, so rollback and crash recovery reproduce each decision
+// without consulting the policy again. Policies change latency and
+// wasted work, never results.
+type SpeculationPolicy struct {
+	mode int // 0 always-on, 1 always-off, 2 adaptive
+	cfg  AdaptiveConfig
+}
+
+// AlwaysOn speculates every guess unconditionally — the paper's
+// semantics, and the zero-value default. No admission layer is attached:
+// the guess path is byte-identical to prior releases.
+func AlwaysOn() SpeculationPolicy { return SpeculationPolicy{} }
+
+// AlwaysOff suppresses speculation: every guess waits (up to the default
+// wait budget) for its assumption's real verdict and returns it. The
+// pessimistic baseline — useful for differential runs and for workloads
+// whose guesses are usually wrong.
+func AlwaysOff() SpeculationPolicy { return SpeculationPolicy{mode: 1} }
+
+// Adaptive closes the loop from observed accuracy to guess policy: a
+// per-site estimator decays each Guess call site's affirm/deny history,
+// and an admission controller throttles, then disables, sites whose
+// accuracy falls below the crossover where speculation stops paying —
+// while probe guesses keep estimates fresh so recovered sites turn back
+// on. See AdaptiveConfig and internal/policy.
+func Adaptive(cfg AdaptiveConfig) SpeculationPolicy {
+	return SpeculationPolicy{mode: 2, cfg: cfg}
+}
+
+// AdaptiveConfig tunes the Adaptive speculation policy. The zero value
+// selects the documented defaults.
+type AdaptiveConfig struct {
+	// Crossover is the accuracy below which speculation is throttled
+	// (default 0.75 — the E3 break-even point).
+	Crossover float64
+	// Hysteresis pads state transitions to prevent flapping
+	// (default 0.05).
+	Hysteresis float64
+	// Window is the decayed sample window per site (default 64).
+	Window int
+	// MinSamples is the evidence floor before a site may be throttled
+	// (default 8): fresh sites speculate.
+	MinSamples int
+	// ProbeEvery admits one probe guess per this many at a disabled
+	// site, keeping its estimate alive (default 8).
+	ProbeEvery int
+	// WaitBudget bounds how long a non-speculating guess waits for its
+	// real verdict before speculating anyway (default 2ms; negative
+	// waits indefinitely).
+	WaitBudget time.Duration
+	// Inventory optionally seeds the controller with static site
+	// features from a `hopevet -inventory` JSON document: sites the
+	// analyzer proves are resolved only by the guessing process itself
+	// are pinned always-on (a pessimistic wait there could only ever be
+	// released by its budget).
+	Inventory []byte
+}
+
+// controller builds the internal admission controller, nil for AlwaysOn.
+func (s SpeculationPolicy) controller() *policy.Controller {
+	pc := policy.Config{
+		Crossover:  s.cfg.Crossover,
+		Hysteresis: s.cfg.Hysteresis,
+		Window:     s.cfg.Window,
+		MinSamples: s.cfg.MinSamples,
+		ProbeEvery: s.cfg.ProbeEvery,
+		WaitBudget: s.cfg.WaitBudget,
+		Inventory:  s.cfg.Inventory,
+	}
+	switch s.mode {
+	case 1:
+		return policy.AlwaysOff(pc)
+	case 2:
+		return policy.NewAdaptive(pc)
+	default:
+		return nil
+	}
+}
+
+// WithSpeculation selects the runtime's speculation policy directly —
+// shorthand for WithPolicy(Policy{Speculation: s}).
+func WithSpeculation(s SpeculationPolicy) Option {
+	return func(r *Runtime) {
+		if c := s.controller(); c != nil {
+			engine.WithSpeculation(c)(r)
+		}
+	}
+}
+
+// SiteStat is one Guess call site's row in the observer's per-site
+// registry: guess/admission counts, verdict tallies, and the admission
+// controller's state and accuracy estimate (see Observer.SiteStats).
+type SiteStat = obs.SiteStat
+
 // ErrStopLoop stops a Loop process cleanly when returned by its step
 // function.
 var ErrStopLoop = engine.ErrStopLoop
@@ -169,12 +325,16 @@ func Loop[S any](rt *Runtime, name string, init func() S, clone func(S) S, step 
 }
 
 // WithOutput directs committed Printf output to w.
-func WithOutput(w io.Writer) Option { return engine.WithOutput(w) }
+//
+// Deprecated: shim over Policy.Output — prefer WithPolicy.
+func WithOutput(w io.Writer) Option { return WithPolicy(Policy{Output: w}) }
 
 // WithLatency installs a message latency model: f returns the one-way
 // delay for a message between two named processes.
+//
+// Deprecated: shim over Policy.Latency — prefer WithPolicy.
 func WithLatency(f func(from, to string) time.Duration) Option {
-	return engine.WithLatency(f)
+	return WithPolicy(Policy{Latency: f})
 }
 
 // WithShards sets the shard count of the dependency tracker and the
@@ -182,7 +342,9 @@ func WithLatency(f func(from, to string) time.Duration) Option {
 // two >= GOMAXPROCS; values round up to a power of two and cap at 64.
 // Shard count changes scaling, never behavior: one shard reproduces the
 // single-lock configuration verdict-for-verdict.
-func WithShards(n int) Option { return engine.WithShards(n) }
+//
+// Deprecated: shim over Policy.Shards — prefer WithPolicy.
+func WithShards(n int) Option { return WithPolicy(Policy{Shards: n}) }
 
 // Observer is a runtime observability sink: metrics plus a ring-buffered
 // speculation-lifecycle event stream. See internal/obs.
@@ -207,7 +369,15 @@ func WithEventCapacity(n int) ObserverOption { return obs.WithEventCapacity(n) }
 // WithObserver attaches an observability sink to the runtime. Observation
 // is strictly runtime-side and cannot perturb replay; a nil observer is
 // the built-in no-op sink.
-func WithObserver(o *Observer) Option { return engine.WithObserver(o) }
+//
+// Deprecated: shim over Policy.Observer — prefer WithPolicy.
+func WithObserver(o *Observer) Option {
+	return func(r *Runtime) {
+		if o != nil {
+			WithPolicy(Policy{Observer: o})(r)
+		}
+	}
+}
 
 // FaultPlan is a deterministic, seed-driven fault-injection plan. Every
 // injection decision is a pure function of (seed, site, occurrence), so
@@ -232,7 +402,9 @@ func ParseFaults(spec string) (*FaultPlan, error) { return fault.Parse(spec) }
 // replay, messages are dropped (surfacing as ErrDelivery), duplicated,
 // and delayed, and resolutions stall — all deterministically from the
 // plan's seed. Committed output is unaffected for correct programs.
-func WithFaults(p *FaultPlan) Option { return engine.WithFaults(p) }
+//
+// Deprecated: shim over Policy.Faults — prefer WithPolicy.
+func WithFaults(p *FaultPlan) Option { return WithPolicy(Policy{Faults: p}) }
 
 // WithCheckpointEvery arms automatic checkpointing for Loop processes:
 // once k logged events accumulate past a process's last checkpoint while
@@ -243,7 +415,9 @@ func WithFaults(p *FaultPlan) Option { return engine.WithFaults(p) }
 // Proc.Checkpoint calls work either way. Checkpoints never change
 // committed output — only recovery cost. See the Checkpointing section
 // of the package documentation for the state-capture contract.
-func WithCheckpointEvery(k int) Option { return engine.WithCheckpointEvery(k) }
+//
+// Deprecated: shim over Policy.CheckpointEvery — prefer WithPolicy.
+func WithCheckpointEvery(k int) Option { return WithPolicy(Policy{CheckpointEvery: k}) }
 
 // RetryPolicy bounds Proc.SendRetry: up to Attempts tries with linear
 // backoff (i×Backoff before try i).

@@ -8,6 +8,7 @@ import (
 	"go/token"
 	"io"
 	"net"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -16,71 +17,86 @@ import (
 	"hope/internal/wire"
 )
 
-// TestExportedAPIHidesInternalTypes parses hope.go and fails if any
-// exported function signature or explicitly typed exported declaration
-// names a type from an internal package. Type aliases are the sanctioned
-// mechanism for surfacing internal types — they give the type a name in
-// this package — so alias declarations themselves are exempt; everything
-// else must use the alias.
+// TestExportedAPIHidesInternalTypes parses every non-test file of the
+// façade package and fails if any exported function signature or
+// explicitly typed exported declaration names a type from an internal
+// package. Type aliases are the sanctioned mechanism for surfacing
+// internal types — they give the type a name in this package — so alias
+// declarations themselves are exempt; everything else must use the
+// alias. Unexported helpers (like SpeculationPolicy's controller
+// builder) may of course name internal types.
 func TestExportedAPIHidesInternalTypes(t *testing.T) {
 	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, "hope.go", nil, 0)
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
 	if err != nil {
-		t.Fatalf("parse hope.go: %v", err)
+		t.Fatalf("parse package: %v", err)
+	}
+	pkg := pkgs["hope"]
+	if pkg == nil {
+		t.Fatal("package hope not found in .")
 	}
 
-	internal := map[string]bool{}
-	for _, imp := range f.Imports {
-		path := strings.Trim(imp.Path.Value, `"`)
-		if !strings.Contains(path, "/internal/") {
-			continue
+	checked := 0
+	for _, f := range pkg.Files {
+		internal := map[string]bool{}
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if !strings.Contains(path, "/internal/") {
+				continue
+			}
+			name := path[strings.LastIndex(path, "/")+1:]
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			internal[name] = true
 		}
-		name := path[strings.LastIndex(path, "/")+1:]
-		if imp.Name != nil {
-			name = imp.Name.Name
+		if len(internal) == 0 {
+			continue // nothing to leak from this file
 		}
-		internal[name] = true
-	}
-	if len(internal) == 0 {
-		t.Fatal("hope.go imports no internal packages — test is miswired")
-	}
+		checked++
 
-	leaks := func(n ast.Node, what string) {
-		ast.Inspect(n, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			if id, ok := sel.X.(*ast.Ident); ok && internal[id.Name] {
-				t.Errorf("%s: %s leaks %s.%s into the exported API",
-					fset.Position(n.Pos()), what, id.Name, sel.Sel.Name)
-			}
-			return true
-		})
-	}
-
-	for _, d := range f.Decls {
-		switch d := d.(type) {
-		case *ast.FuncDecl:
-			if d.Name.IsExported() {
-				leaks(d.Type, "func "+d.Name.Name)
-			}
-		case *ast.GenDecl:
-			if d.Tok != token.VAR && d.Tok != token.CONST {
-				continue // type aliases are the sanctioned surface
-			}
-			for _, spec := range d.Specs {
-				vs, ok := spec.(*ast.ValueSpec)
-				if !ok || vs.Type == nil {
-					continue // inferred types resolve via aliases
+		leaks := func(n ast.Node, what string) {
+			ast.Inspect(n, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
 				}
-				for _, name := range vs.Names {
-					if name.IsExported() {
-						leaks(vs.Type, d.Tok.String()+" "+name.Name)
+				if id, ok := sel.X.(*ast.Ident); ok && internal[id.Name] {
+					t.Errorf("%s: %s leaks %s.%s into the exported API",
+						fset.Position(n.Pos()), what, id.Name, sel.Sel.Name)
+				}
+				return true
+			})
+		}
+
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() {
+					leaks(d.Type, "func "+d.Name.Name)
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.VAR && d.Tok != token.CONST {
+					continue // type aliases are the sanctioned surface
+				}
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || vs.Type == nil {
+						continue // inferred types resolve via aliases
+					}
+					for _, name := range vs.Names {
+						if name.IsExported() {
+							leaks(vs.Type, d.Tok.String()+" "+name.Name)
+						}
 					}
 				}
 			}
 		}
+	}
+	if checked == 0 {
+		t.Fatal("no façade file imports internal packages — test is miswired")
 	}
 }
 

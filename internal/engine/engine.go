@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -40,6 +41,8 @@ import (
 	"hope/internal/fault"
 	"hope/internal/ids"
 	"hope/internal/obs"
+	"hope/internal/policy"
+	"hope/internal/site"
 	"hope/internal/tracker"
 )
 
@@ -99,6 +102,19 @@ func WithObserver(o *obs.Observer) Option { return func(r *Runtime) { r.obs = o 
 // the differential tests pin it to check that shard count never changes
 // observable behavior.
 func WithShards(n int) Option { return func(r *Runtime) { r.shardCfg = n } }
+
+// WithSpeculation attaches a speculation admission controller
+// (internal/policy): each live explicit Guess first asks the controller
+// whether speculating at its call site is worth it. A denied admission
+// waits — bounded by the controller's WaitBudget — for the assumption's
+// real verdict and returns it, exactly as if the guess had speculated
+// and immediately resolved; whichever way the guess returns, the
+// verdict is a replay-log entry, so rollback and crash recovery
+// reproduce the controller's decisions byte-for-byte without consulting
+// it. A nil controller (the default) is the always-on policy and
+// preserves the exact pre-policy guess path. Implicit guesses (tagged
+// receives) are never subject to admission — only explicit Guess sites.
+func WithSpeculation(c *policy.Controller) Option { return func(r *Runtime) { r.spec = c } }
 
 // WithFaults attaches a deterministic fault-injection plan
 // (internal/fault): processes crash and restart by replay, messages are
@@ -161,6 +177,18 @@ type Runtime struct {
 	remote  RemoteRouter
 	aidBase uint64
 
+	// spec is the speculation admission controller (nil = always-on;
+	// see WithSpeculation). When armed, the engine owns the tracker's
+	// verdict sink — crediting per-site estimators through the obs
+	// registry — and userSink holds the chained SetVerdictSink consumer
+	// (the wire layer's broadcast).
+	spec     *policy.Controller
+	userSink atomic.Pointer[func(ids.AID, bool)]
+	// pcSites caches Guess-caller program counters → canonical site
+	// identity, so the per-guess runtime.Caller cost is paid once per
+	// static call site.
+	pcSites sync.Map
+
 	seq atomic.Uint64
 }
 
@@ -192,6 +220,28 @@ func New(opts ...Option) *Runtime {
 		r.scheds[i] = s
 	}
 	r.schedMask = uint64(len(r.scheds) - 1)
+	if r.spec != nil {
+		// The controller's estimator learns from per-site verdicts, which
+		// flow through the obs site registry; an admission-controlled
+		// runtime therefore always has an observer, private (no event
+		// ring) if the caller didn't attach one.
+		if r.obs == nil {
+			r.obs = obs.New(obs.WithEventCapacity(0))
+		}
+		r.obs.SetSiteSink(r.spec.Observe)
+		// The engine owns the tracker's verdict sink: attribute each
+		// terminal resolution back to the guess sites that speculated on
+		// it, then forward to the chained consumer (the wire layer's
+		// broadcast, installed via SetVerdictSink).
+		r.tr.SetVerdictSink(func(x ids.AID, affirmed bool) {
+			for _, h := range r.spec.TakeGuessed(x) {
+				r.obs.SiteVerdict(h, affirmed)
+			}
+			if fn := r.userSink.Load(); fn != nil {
+				(*fn)(x, affirmed)
+			}
+		})
+	}
 	r.tr.SetObserver(r.obs)
 	if r.faults != nil {
 		// Resolution stalls run in the resolving process's goroutine,
@@ -225,13 +275,43 @@ func New(opts ...Option) *Runtime {
 		r.mu.Unlock()
 		for _, p := range waiters {
 			p.mu.Lock()
-			if p.waitSettled {
+			if p.waitSettled || p.waitAID.Valid() {
 				p.cond.Broadcast()
 			}
 			p.mu.Unlock()
 		}
 	})
 	return r
+}
+
+// siteID is one resolved Guess call site, cached per program counter.
+type siteID struct {
+	h   uint64
+	key string
+}
+
+// guessSite resolves the canonical site identity of the Guess call two
+// frames up — the same internal/site fold the vet inventory and the
+// fault plan use, so static analysis, fault schedules, and the admission
+// controller all agree on what "this guess site" means. The
+// runtime.Caller walk runs once per static call site; subsequent guesses
+// hit the PC cache.
+func (r *Runtime) guessSite() (uint64, string) {
+	var pcs [1]uintptr
+	// Skip runtime.Callers, guessSite, and Guess: frame 3 is the body's
+	// Guess call. Guess must call this directly to keep the depth fixed.
+	if runtime.Callers(3, pcs[:]) == 0 {
+		return site.Hash("unknown:0"), "unknown:0"
+	}
+	if v, ok := r.pcSites.Load(pcs[0]); ok {
+		s := v.(siteID)
+		return s.h, s.key
+	}
+	frame, _ := runtime.CallersFrames(pcs[:]).Next()
+	key := site.Key(frame.File, frame.Line)
+	h := site.Hash(key)
+	r.pcSites.Store(pcs[0], siteID{h: h, key: key})
+	return h, key
 }
 
 // addSettledWaiter registers p as blocked in RecvSettled.

@@ -138,6 +138,11 @@ type Proc struct {
 	// Quiesce treats a blocked process with a pending deadline as having
 	// work, since its timer will fire without external input.
 	waitDeadline time.Time
+	// waitAID marks a pessimistic-guess wait (admission denied): the
+	// process is blocked until this assumption resolves terminally (or
+	// its wait budget — carried in waitDeadline — expires). The
+	// resolution watcher wakes such waiters like RecvSettled blockers.
+	waitAID ids.AID
 	// lastSeq is the per-sender duplicate filter, active only under fault
 	// injection: the transport may deliver a message twice (at-least-once
 	// semantics), and since sequence numbers are monotone per link in
@@ -326,6 +331,13 @@ func (p *Proc) hasWork() bool {
 	if !p.waitDeadline.IsZero() {
 		// A RecvTimeout deadline will fire on its own: not stable yet.
 		return true
+	}
+	if p.waitAID.Valid() {
+		// An unbounded pessimistic-guess wait progresses only on a
+		// definitive verdict (a revocable SpecAffirmed keeps it
+		// waiting); like RecvSettled, an unresolvable wait is stable
+		// (DrainDenyUnresolved breaks the tie).
+		return p.rt.tr.Status(p.waitAID).Terminal()
 	}
 	mode := scanNonOrphan
 	if p.waitSettled {
@@ -599,10 +611,45 @@ func (p *Proc) NewAID() AID {
 // Guess makes the optimistic assumption a: it returns true immediately and
 // speculatively; if a is later denied, the process is rolled back to this
 // point and Guess returns false instead (§3, Section 5.1).
+//
+// With an admission controller attached (engine.WithSpeculation), a live
+// Guess first asks the controller whether speculating at this call site
+// pays. A denied admission waits — bounded by the controller's wait
+// budget — for a's real verdict and returns it without opening an
+// interval; a wait that exhausts its budget falls back to speculating.
+// Either way the returned verdict is recorded as an ordinary guess entry,
+// so replay reproduces the decision without re-consulting the controller:
+// this replay path is byte-identical to the pre-policy one.
 func (p *Proc) Guess(a AID) bool {
 	p.checkPending()
 	if p.replaying() {
 		return p.next(entryGuess, a.id).ok
+	}
+	c := p.rt.spec
+	var site uint64
+	if c != nil {
+		var key string
+		site, key = p.rt.guessSite()
+		v := c.Admit(site)
+		p.rt.obs.SiteGuess(site, key, v.Admit, v.State.String(), v.Estimate)
+		if v.Probe {
+			p.rt.obs.Emit(obs.KPolicyProbe, p.id, a.id, ids.NoInterval, int64(site))
+		}
+		if !v.Admit {
+			p.rt.obs.Emit(obs.KPolicyDeny, p.id, a.id, ids.NoInterval, int64(site))
+			if verdict, decided := p.awaitVerdict(a, c.WaitBudget()); decided {
+				// The pessimistic result is logged exactly like a
+				// speculative one — but no interval references this log
+				// index, so the entry can never be a rollback target.
+				p.rt.obs.SiteVerdict(site, verdict)
+				p.record(entry{kind: entryGuess, aid: a.id, ok: verdict})
+				p.checkPending()
+				return verdict
+			}
+			p.rt.obs.SiteWaitTimeout(site)
+			p.rt.obs.Emit(obs.KPolicyWaitTimeout, p.id, a.id, ids.NoInterval, int64(site))
+			// Budget exhausted with a unresolved: speculate after all.
+		}
 	}
 	out, err := p.rt.tr.Guess(p.id, a.id, p.logBase+len(p.log))
 	if err != nil {
@@ -614,9 +661,83 @@ func (p *Proc) Guess(a AID) bool {
 		// so park() notices it became definite. An ErrRolledBack here is
 		// caught by the checkPending below.
 		_ = p.rt.tr.AttachEffect(p.id, p.wake, nil)
+		if c != nil {
+			// Attribute the eventual verdict back to this site so the
+			// estimator learns from it (engine-owned verdict sink).
+			c.NoteGuess(site, a.id)
+		}
+	} else if c != nil {
+		// Short-circuit on an already-resolved AID: the verdict is known
+		// now — credit the estimator directly.
+		p.rt.obs.SiteVerdict(site, out.Result)
 	}
 	p.checkPending()
 	return out.Result
+}
+
+// awaitVerdict blocks until assumption a resolves terminally, returning
+// its verdict with decided=true. decided=false means the caller should
+// fall back to speculating: the wait budget expired (budget >= 0) or the
+// runtime shut down mid-wait. The wait mirrors RecvSettled's blocking
+// discipline — settled-waiter registration, phase transitions for
+// Quiesce, rollback unwinding — and logs nothing itself.
+func (p *Proc) awaitVerdict(a AID, budget time.Duration) (verdict, decided bool) {
+	if st := p.rt.tr.Status(a.id); st.Terminal() {
+		return st == tracker.Affirmed, true
+	}
+	timed := budget >= 0
+	var deadline time.Time
+	var timer *time.Timer
+	if timed {
+		deadline = time.Now().Add(budget)
+		timer = time.AfterFunc(budget, p.wake)
+	}
+	p.mu.Lock()
+	p.waitAID = a.id
+	p.waitDeadline = deadline
+	p.mu.Unlock()
+	p.rt.addSettledWaiter(p)
+	p.toState(stateBlocked)
+	st := tracker.Unresolved
+	p.mu.Lock()
+	for {
+		if p.closed || p.rt.tr.PendingRollback(p.id) {
+			break
+		}
+		// Only a definitive verdict ends the wait. SpecAffirmed is
+		// revocable — treating it as decided would log a terminal
+		// verdict that a later rollback could contradict, and the
+		// verifier pushes no pessimistic reply for a clean speculative
+		// affirm, so acting on it would strand the caller.
+		if st = p.rt.tr.Status(a.id); st.Terminal() {
+			break
+		}
+		if timed && !time.Now().Before(deadline) {
+			break
+		}
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+	if timer != nil {
+		timer.Stop()
+	}
+	p.rt.removeSettledWaiter(p)
+	// Mark running before clearing the wait fields: on a budget-expiry
+	// wake there is no queued message to keep hasWork true, so clearing
+	// first would open a window where the stability scan sees a blocked
+	// process with no pending work and Quiesce returns under a process
+	// that is about to resume.
+	p.toState(stateRunning)
+	p.mu.Lock()
+	p.waitAID = ids.NoAID
+	p.waitDeadline = time.Time{}
+	p.mu.Unlock()
+	p.checkPending() // nothing logged yet: unwinding here is safe
+	if st.Terminal() {
+		return st == tracker.Affirmed, true
+	}
+	// Budget expired or shutdown in flight: speculate, as always-on would.
+	return false, false
 }
 
 // Affirm asserts that assumption a is correct (Section 5.2). It returns

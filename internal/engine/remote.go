@@ -86,7 +86,17 @@ func (r *Runtime) ApplyVerdict(x ids.AID, affirmed bool) error {
 // SetVerdictSink installs fn to observe every terminal resolution
 // committed by this runtime's tracker (nil detaches). The wire layer
 // broadcasts these to peers. Call before the runtime sees traffic.
+// With an admission controller attached the engine owns the tracker's
+// sink (it credits per-site estimators first), so fn chains behind it.
 func (r *Runtime) SetVerdictSink(fn func(x ids.AID, affirmed bool)) {
+	if r.spec != nil {
+		if fn == nil {
+			r.userSink.Store(nil)
+		} else {
+			r.userSink.Store(&fn)
+		}
+		return
+	}
 	r.tr.SetVerdictSink(fn)
 }
 

@@ -45,6 +45,7 @@ func All() []Experiment {
 		{ID: "E12", Title: "Speculation lifecycle via obs (affirm/deny ratio, replay depth)", Run: E12SpeculationObservability},
 		{ID: "E13", Title: "Fault-storm transparency (Theorems 5.1–6.3 as an executable oracle)", Run: E13FaultStorm},
 		{ID: "E14", Title: "Wire transport hop latency (loopback TCP vs in-process)", Run: E14WireLatency},
+		{ID: "E15", Title: "Adaptive admission vs static policies under shifting accuracy", Run: E15AdaptiveAdmission},
 	}
 }
 

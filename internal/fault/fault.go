@@ -35,6 +35,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	sitepkg "hope/internal/site"
 )
 
 // Kind classifies one injected fault.
@@ -180,20 +182,12 @@ func splitmix64(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
-// siteHash folds a site string into 64 bits (FNV-1a).
-func siteHash(site string) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(site); i++ {
-		h ^= uint64(site[i])
-		h *= 1099511628211
-	}
-	return h
-}
-
 // roll returns the n-th decision word for site: a pure function of
-// (seed, site, n), independent of interleaving.
+// (seed, site, n), independent of interleaving. Site strings fold through
+// the shared internal/site hash — the same identity the inventory and
+// the admission controller key on.
 func (p *Plan) roll(site string, n uint64) uint64 {
-	return splitmix64(uint64(p.cfg.Seed) ^ splitmix64(siteHash(site)^splitmix64(n)))
+	return splitmix64(uint64(p.cfg.Seed) ^ splitmix64(sitepkg.Hash(site)^splitmix64(n)))
 }
 
 // u01 maps a decision word to [0, 1).

@@ -104,6 +104,17 @@ const (
 	// newest surviving checkpoint instead of replaying the whole log
 	// (N = log entries skipped by the restore).
 	KRestored
+	// KPolicyDeny: the admission controller denied speculation at a
+	// Guess site (N = the site hash as int64); the guess waited for its
+	// real verdict instead.
+	KPolicyDeny
+	// KPolicyProbe: a throttled/off site admitted one probe guess to
+	// keep its accuracy estimator learning (N = the site hash).
+	KPolicyProbe
+	// KPolicyWaitTimeout: a pessimistic wait exhausted its budget
+	// before the assumption resolved; the guess fell back to
+	// speculating (N = the site hash).
+	KPolicyWaitTimeout
 )
 
 // String names the kind in lifecycle vocabulary.
@@ -157,6 +168,12 @@ func (k Kind) String() string {
 		return "checkpoint"
 	case KRestored:
 		return "restored"
+	case KPolicyDeny:
+		return "policy-deny"
+	case KPolicyProbe:
+		return "policy-probe"
+	case KPolicyWaitTimeout:
+		return "policy-wait-timeout"
 	default:
 		return "invalid"
 	}

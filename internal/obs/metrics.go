@@ -161,6 +161,12 @@ type Metrics struct {
 
 	Annotations atomic.Int64
 
+	// Admission policy (populated only when a speculation policy other
+	// than always-on is attached; see internal/policy).
+	PolicyDenies       atomic.Int64 // guesses denied speculation (waited instead)
+	PolicyProbes       atomic.Int64 // probe admissions at throttled/off sites
+	PolicyWaitTimeouts atomic.Int64 // pessimistic waits that hit their budget
+
 	// Fault injection (populated only when a fault plan is attached).
 	FaultCrashes  atomic.Int64 // processes killed at checkpoints
 	FaultDrops    atomic.Int64 // messages discarded at send time
@@ -230,6 +236,10 @@ type MetricsSnapshot struct {
 	WireVerdictFanout int64 `json:"wire_verdict_fanout,omitempty"`
 
 	Annotations int64 `json:"annotations"`
+
+	PolicyDenies       int64 `json:"policy_denies,omitempty"`
+	PolicyProbes       int64 `json:"policy_probes,omitempty"`
+	PolicyWaitTimeouts int64 `json:"policy_wait_timeouts,omitempty"`
 
 	FaultCrashes  int64 `json:"fault_crashes"`
 	FaultDrops    int64 `json:"fault_drops"`
@@ -301,6 +311,10 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		WireVerdictFanout: m.WireVerdictFanout.Load(),
 
 		Annotations: m.Annotations.Load(),
+
+		PolicyDenies:       m.PolicyDenies.Load(),
+		PolicyProbes:       m.PolicyProbes.Load(),
+		PolicyWaitTimeouts: m.PolicyWaitTimeouts.Load(),
 
 		FaultCrashes:  m.FaultCrashes.Load(),
 		FaultDrops:    m.FaultDrops.Load(),

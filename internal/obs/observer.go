@@ -28,6 +28,9 @@ type Observer struct {
 	names  map[ids.Proc]string
 	byName map[string]ids.Proc
 	peers  []string // wire-peer slot names, in RegisterWirePeer order
+
+	// sites is the per-Guess-site registry (see sites.go).
+	sites siteTable
 }
 
 // Option configures an Observer.
@@ -168,6 +171,12 @@ func (o *Observer) emit(e Event) {
 	case KRestored:
 		o.m.Resumes.Add(1)
 		o.m.RestoreDepth.Observe(e.N)
+	case KPolicyDeny:
+		o.m.PolicyDenies.Add(1)
+	case KPolicyProbe:
+		o.m.PolicyProbes.Add(1)
+	case KPolicyWaitTimeout:
+		o.m.PolicyWaitTimeouts.Add(1)
 	}
 	if o.ring != nil {
 		e.Seq = o.seq.Add(1)
@@ -273,6 +282,7 @@ type Snapshot struct {
 	EventsDropped  uint64          `json:"events_dropped"`
 	Procs          []string        `json:"procs,omitempty"`
 	WirePeers      []WirePeerStat  `json:"wire_peers,omitempty"`
+	Sites          []SiteStat      `json:"sites,omitempty"`
 }
 
 // Snapshot captures the observer state. Counters are read individually
@@ -296,6 +306,7 @@ func (o *Observer) Snapshot() Snapshot {
 		EventsDropped:  dropped,
 		Procs:          procs,
 		WirePeers:      o.WirePeers(),
+		Sites:          o.SiteStats(),
 	}
 }
 
@@ -356,6 +367,11 @@ func (o *Observer) Dump() string {
 		}
 	}
 	b.WriteString(o.dumpWire())
+	if m.PolicyDenies+m.PolicyProbes+m.PolicyWaitTimeouts > 0 {
+		fmt.Fprintf(&b, "  policy:      admission-denies=%d probes=%d wait-timeouts=%d\n",
+			m.PolicyDenies, m.PolicyProbes, m.PolicyWaitTimeouts)
+	}
+	b.WriteString(o.dumpSites())
 	if m.FaultCrashes+m.FaultDrops+m.FaultDups+m.FaultDelays+m.FaultStalls > 0 {
 		fmt.Fprintf(&b, "  faults:      crashes=%d drops=%d dups=%d delays=%d stalls=%d (dup-suppressed=%d)\n",
 			m.FaultCrashes, m.FaultDrops, m.FaultDups, m.FaultDelays, m.FaultStalls, m.DupSuppressed)

@@ -1,0 +1,47 @@
+// Package site is the one definition of a speculation site's identity.
+//
+// Three subsystems need to agree on what "the same Guess site" means:
+// fault plans key injection schedules by site string, `hopevet
+// -inventory` emits static per-site features, and the adaptive-optimism
+// admission controller (internal/policy) keeps per-site accuracy
+// estimates at runtime. Before this package each derived its own key
+// from whatever position information it had — absolute file paths from
+// go/token, runtime.Caller paths from the engine — which could never
+// join without a translation table. Key canonicalizes both to the same
+// string, and Hash folds it to the uint64 the fault mixer and the
+// estimator index on.
+package site
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Key canonicalizes a source position to a site key: the last two path
+// segments of file, a colon, and the line number — "scenario/storm.go:41".
+// Two segments disambiguate equal basenames across packages while staying
+// stable across checkouts (absolute prefixes and GOPATH layout differ
+// between the static analyzer's token.FileSet and runtime.Caller, the
+// suffix does not).
+func Key(file string, line int) string {
+	file = strings.ReplaceAll(file, "\\", "/")
+	i := strings.LastIndexByte(file, '/')
+	if i >= 0 {
+		if j := strings.LastIndexByte(file[:i], '/'); j >= 0 {
+			file = file[j+1:]
+		}
+	}
+	return file + ":" + strconv.Itoa(line)
+}
+
+// Hash folds a site key (or any site string) into 64 bits — FNV-1a, the
+// same fold the fault plan has always used, so existing seeded fault
+// schedules are unchanged.
+func Hash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,48 @@
+package site
+
+import "testing"
+
+func TestKeyCanonicalizes(t *testing.T) {
+	cases := []struct {
+		file string
+		line int
+		want string
+	}{
+		{"/root/repo/internal/scenario/storm.go", 41, "scenario/storm.go:41"},
+		{"internal/scenario/storm.go", 41, "scenario/storm.go:41"},
+		{"scenario/storm.go", 41, "scenario/storm.go:41"},
+		{"storm.go", 7, "storm.go:7"},
+		{`C:\work\repo\internal\rpc\rpc.go`, 330, "rpc/rpc.go:330"},
+	}
+	for _, c := range cases {
+		if got := Key(c.file, c.line); got != c.want {
+			t.Errorf("Key(%q, %d) = %q, want %q", c.file, c.line, got, c.want)
+		}
+	}
+}
+
+// TestKeyJoins pins the property the inventory join depends on: the
+// analyzer's absolute path and the runtime's caller path for the same
+// file must canonicalize — and therefore hash — identically.
+func TestKeyJoins(t *testing.T) {
+	a := Key("/home/ci/checkout/internal/scenario/storm.go", 99)
+	b := Key("/root/repo/internal/scenario/storm.go", 99)
+	if a != b || Hash(a) != Hash(b) {
+		t.Fatalf("keys for the same site diverge: %q vs %q", a, b)
+	}
+}
+
+// TestHashIsFNV1a pins the fold so seeded fault schedules keyed by site
+// strings survive the move to the shared helper.
+func TestHashIsFNV1a(t *testing.T) {
+	if got := Hash(""); got != 14695981039346656037 {
+		t.Fatalf("Hash(\"\") = %d, want FNV offset basis", got)
+	}
+	// FNV-1a of "a": (basis ^ 'a') * prime, computed at runtime so the
+	// wrap-around multiply stays legal.
+	want := uint64(14695981039346656037) ^ uint64('a')
+	want *= 1099511628211
+	if got := Hash("a"); got != want {
+		t.Fatalf("Hash(\"a\") = %d, want %d", got, want)
+	}
+}

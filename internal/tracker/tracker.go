@@ -72,6 +72,13 @@ const (
 	Denied
 )
 
+// Terminal reports whether r is a definitive verdict. A SpecAffirmed
+// assumption is not terminal: the affirming interval is still
+// speculative, so the affirm can be revoked by its rollback.
+func (r Resolution) Terminal() bool {
+	return r == Affirmed || r == Denied
+}
+
 // String names the resolution.
 func (r Resolution) String() string {
 	switch r {

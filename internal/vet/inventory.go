@@ -24,6 +24,14 @@ type Site struct {
 	Package string `json:"package"`
 	Func    string `json:"func"`
 
+	// SiteKey and SiteHash are the canonical runtime identity of the
+	// site (internal/site.Key of file:line, and its FNV-1a fold): the
+	// engine's admission controller resolves the same key from
+	// runtime.Caller, so static features here join runtime accuracy
+	// estimates with no translation table.
+	SiteKey  string `json:"site"`
+	SiteHash uint64 `json:"site_hash"`
+
 	// Arity is the number of AID operands guessed at the site (always 1
 	// with today's Guess signature; kept so a future vector guess does
 	// not change the schema).

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"hope/internal/lint"
+	sitepkg "hope/internal/site"
 )
 
 // The specleak pass. Per analyzed function it runs a forward may-
@@ -482,12 +483,15 @@ func (s *specPass) emitSites() {
 	for _, pos := range s.order {
 		site := s.sites[pos]
 		p := s.a.fset.Position(pos)
+		key := sitepkg.Key(p.Filename, p.Line)
 		entry := Site{
 			File:                  p.Filename,
 			Line:                  p.Line,
 			Col:                   p.Column,
 			Package:               s.pkg.Path,
 			Func:                  enclosingFuncName(s.pkg, pos),
+			SiteKey:               key,
+			SiteHash:              sitepkg.Hash(key),
 			Arity:                 1,
 			ResolveDistanceBlocks: -1,
 			MaxPendingAtEntry:     site.pendingMax,

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"hope/internal/lint"
+	"hope/internal/site"
 )
 
 // Golden-file tests, sharing hopelint's convention: each fixture
@@ -273,6 +274,15 @@ func TestSiteInventory(t *testing.T) {
 	for _, s := range res.Sites {
 		if s.Package == "" || s.Func == "" || s.Arity != 1 {
 			t.Errorf("site missing identity fields: %+v", s)
+		}
+		// The canonical identity must join with the runtime's notion of
+		// the same site (internal/site): derived from file:line, hashed
+		// with the shared fold.
+		if want := site.Key(s.File, s.Line); s.SiteKey != want {
+			t.Errorf("site key %q, want %q", s.SiteKey, want)
+		}
+		if want := site.Hash(s.SiteKey); s.SiteHash != want {
+			t.Errorf("site hash %d, want %d", s.SiteHash, want)
 		}
 	}
 }
